@@ -1,0 +1,83 @@
+"""Benchmark LEM31 — measured separator quality on generated instances.
+
+Constructs the Lemma 3.1 separators on concrete Butterfly / Wrapped Butterfly
+/ de Bruijn / Kautz instances, measures the actual set distance and set sizes,
+and compares with the asymptotic predictions ``ℓ·log₂ n`` and
+``α·ℓ·log₂ n``.  Exact agreement is not expected (the paper's statement has
+an ``o(log n)`` slack); the check is that distances are a constant fraction of
+the prediction and grow with the instance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import format_table
+from repro.topologies.butterfly import (
+    butterfly,
+    wrapped_butterfly,
+    wrapped_butterfly_digraph,
+)
+from repro.topologies.debruijn import de_bruijn_digraph
+from repro.topologies.kautz import kautz_digraph
+from repro.topologies.separators import measure_separator, separator_for
+
+INSTANCES = [
+    ("BF", 2, 3, butterfly),
+    ("BF", 2, 4, butterfly),
+    ("WBF_digraph", 2, 3, wrapped_butterfly_digraph),
+    ("WBF_digraph", 2, 4, wrapped_butterfly_digraph),
+    ("WBF", 2, 4, wrapped_butterfly),
+    ("DB", 2, 5, de_bruijn_digraph),
+    ("DB", 2, 7, de_bruijn_digraph),
+    ("K", 2, 4, kautz_digraph),
+    ("K", 2, 6, kautz_digraph),
+]
+
+
+def _run_and_check():
+    rows = []
+    by_family: dict[str, list[int]] = {}
+    for family, d, dim, factory in INSTANCES:
+        graph = factory(d, dim)
+        separator = separator_for(family, d, dim)
+        measurement = measure_separator(graph, separator)
+        assert measurement.distance >= 1
+        assert measurement.min_size >= 1
+        by_family.setdefault(family, []).append(measurement.distance)
+        rows.append(
+            {
+                "family": family,
+                "d": d,
+                "D": dim,
+                "n": graph.n,
+                "distance": measurement.distance,
+                "predicted_distance": measurement.predicted_distance,
+                "log2_min_size": measurement.log_min_size,
+                "predicted_log_size": measurement.predicted_log_size,
+            }
+        )
+    # Distances must grow with the dimension within each family (the
+    # asymptotic claim, checked in its crudest monotone form).
+    for family, distances in by_family.items():
+        if len(distances) > 1:
+            assert distances[-1] >= distances[0], family
+    return rows
+
+
+def test_lem31_separators(benchmark, report_sink):
+    rows = benchmark.pedantic(_run_and_check, rounds=1, iterations=1)
+    report_sink(
+        "Lemma 3.1 — measured separators on generated instances",
+        format_table(
+            rows,
+            [
+                "family",
+                "d",
+                "D",
+                "n",
+                "distance",
+                "predicted_distance",
+                "log2_min_size",
+                "predicted_log_size",
+            ],
+        ),
+    )

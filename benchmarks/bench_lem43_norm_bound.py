@@ -1,0 +1,91 @@
+"""Benchmark LEM43 — the norm bound on concrete protocols and local shapes.
+
+Two checks:
+
+* for a spread of local-protocol shapes and λ values, ``‖Mx(λ)‖`` stays below
+  ``λ·√(p_⌈s/2⌉)·√(p_⌊s/2⌋)`` (Lemma 4.3), and the balanced shape nearly
+  attains it;
+* for concrete half-duplex systolic schedules (paths, cycles, de Bruijn and
+  Kautz colourings, seeded random schedules) the delay-matrix norm at the
+  analytic root λ* stays at most 1 — the premise Theorem 4.1 needs.
+"""
+
+from __future__ import annotations
+
+from repro.core.delay import DelayDigraph
+from repro.core.local_protocol import LocalProtocol
+from repro.core.polynomials import half_duplex_norm_bound, norm_bound_product
+from repro.core.reduction import local_norm
+from repro.core.roots import solve_unit_root
+from repro.experiments.runner import format_table
+from repro.gossip.builders import random_systolic_schedule
+from repro.gossip.model import Mode
+from repro.protocols.cycle import cycle_systolic_schedule
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.protocols.path import path_systolic_schedule
+from repro.topologies.debruijn import de_bruijn
+from repro.topologies.kautz import kautz
+
+LOCAL_SHAPES = [
+    LocalProtocol.balanced(4),
+    LocalProtocol.balanced(6),
+    LocalProtocol((2, 1), (1, 2)),
+    LocalProtocol((1, 1, 1), (1, 1, 1)),
+    LocalProtocol((3, 1), (2, 2)),
+]
+
+
+def _schedules():
+    return [
+        path_systolic_schedule(10, Mode.HALF_DUPLEX),
+        cycle_systolic_schedule(10, Mode.HALF_DUPLEX),
+        coloring_systolic_schedule(de_bruijn(2, 3), Mode.HALF_DUPLEX),
+        coloring_systolic_schedule(kautz(2, 3), Mode.HALF_DUPLEX),
+        random_systolic_schedule(de_bruijn(2, 3), 6, Mode.HALF_DUPLEX, seed=1),
+        random_systolic_schedule(de_bruijn(2, 3), 5, Mode.HALF_DUPLEX, seed=2),
+    ]
+
+
+def _run_and_check():
+    rows = []
+    for local in LOCAL_SHAPES:
+        s = local.period
+        for lam in (0.4, 0.6, 0.78):
+            value = local_norm(local, lam, 4 * local.k)
+            bound = norm_bound_product((s + 1) // 2, s // 2, lam)
+            assert value <= bound + 1e-9
+            rows.append(
+                {
+                    "kind": "local shape",
+                    "instance": local.activation_word(),
+                    "period": s,
+                    "lam": lam,
+                    "norm": value,
+                    "bound": bound,
+                }
+            )
+    for schedule in _schedules():
+        s = schedule.period
+        lam = solve_unit_root(lambda x, s=s: half_duplex_norm_bound(s, x))
+        delay = DelayDigraph(schedule.unroll(3 * s), period=s)
+        value = delay.norm(lam)
+        assert value <= 1.0 + 1e-9
+        rows.append(
+            {
+                "kind": "protocol",
+                "instance": schedule.name,
+                "period": s,
+                "lam": lam,
+                "norm": value,
+                "bound": 1.0,
+            }
+        )
+    return rows
+
+
+def test_lem43_norm_bound(benchmark, report_sink):
+    rows = benchmark.pedantic(_run_and_check, rounds=1, iterations=1)
+    report_sink(
+        "Lemma 4.3 — ‖M(λ)‖ against the analytic bound",
+        format_table(rows, ["kind", "instance", "period", "lam", "norm", "bound"]),
+    )

@@ -1,0 +1,38 @@
+"""Benchmark SIM — engineering throughput of the substrate.
+
+Not a paper table: measures the wall-clock cost of the two inner loops every
+experiment relies on — the dissemination simulator and the delay-matrix norm
+computation — on mid-sized instances, so that performance regressions in the
+substrate are visible in the benchmark history.
+"""
+
+from __future__ import annotations
+
+from repro.core.delay import DelayDigraph
+from repro.gossip.model import Mode
+from repro.gossip.simulation import gossip_time
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.protocols.hypercube import hypercube_dimension_exchange
+from repro.topologies.debruijn import de_bruijn
+
+
+def test_simulator_hypercube_q8(benchmark):
+    schedule = hypercube_dimension_exchange(8, Mode.FULL_DUPLEX)
+    result = benchmark(lambda: gossip_time(schedule))
+    assert result == 8
+
+
+def test_simulator_de_bruijn_coloring(benchmark):
+    graph = de_bruijn(2, 6)
+    schedule = coloring_systolic_schedule(graph, Mode.HALF_DUPLEX)
+    result = benchmark(lambda: gossip_time(schedule))
+    assert result > 0
+
+
+def test_delay_matrix_norm_de_bruijn(benchmark):
+    graph = de_bruijn(2, 5)
+    schedule = coloring_systolic_schedule(graph, Mode.HALF_DUPLEX)
+    protocol = schedule.unroll(2 * schedule.period)
+    delay = DelayDigraph(protocol, period=schedule.period)
+    value = benchmark(lambda: delay.norm(0.6))
+    assert value > 0.0

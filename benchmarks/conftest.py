@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper
+(see DESIGN.md, section "Paper-experiment index") and, as a side effect of
+the benchmarked call, asserts the reproduction facts — so
+``pytest benchmarks/ --benchmark-only`` both times the harness and verifies
+the numbers.  The regenerated tables are printed at the end of the run so
+that EXPERIMENTS.md can be refreshed from the benchmark output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, body: str) -> None:
+    """Store a text table to be echoed after the benchmark session."""
+    _REPORTS.append((title, body))
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Fixture exposing :func:`record_report` to benchmark modules."""
+    return record_report
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: D401 - pytest hook
+    """Print all recorded tables after the benchmark run."""
+    if not _REPORTS:
+        return
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is None:  # pragma: no cover - defensive
+        return
+    terminal.write_line("")
+    terminal.write_sep("=", "reproduced paper tables")
+    for title, body in _REPORTS:
+        terminal.write_line("")
+        terminal.write_line(f"--- {title} ---")
+        for line in body.splitlines():
+            terminal.write_line(line)

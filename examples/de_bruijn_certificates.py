@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Domain scenario: certified lower bounds on de Bruijn gossip schedules.
+
+The paper's headline topology-specific result is that de Bruijn (and
+Butterfly / Kautz) networks admit lower bounds beating the generic ones.
+This example works entirely with *concrete* instances:
+
+* build the de Bruijn graph ``DB(2, D)`` for growing ``D``,
+* construct the edge-colouring systolic schedule (the generic upper bound),
+* measure its gossip completion time with the exact simulator,
+* build the delay digraph of the schedule, compute ``‖M(λ)‖`` and emit the
+  Theorem 4.1 certificate,
+* compare everything with the analytic coefficients the paper reports
+  (general bound for the schedule's period, separator-refined bound for the
+  de Bruijn family).
+
+Run with ``python examples/de_bruijn_certificates.py [max_dimension]``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro import Mode, certify_protocol, general_lower_bound, gossip_time, separator_lower_bound
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.topologies.debruijn import de_bruijn
+from repro.topologies.separators import family_parameters
+
+
+def analyse_dimension(dim: int) -> dict[str, object]:
+    graph = de_bruijn(2, dim)
+    schedule = coloring_systolic_schedule(graph, Mode.HALF_DUPLEX)
+    measured = gossip_time(schedule)
+    certificate = certify_protocol(schedule, optimize_lambda=True, unroll_periods=2)
+
+    log_n = math.log2(graph.n)
+    general = general_lower_bound(schedule.period)
+    alpha, ell = family_parameters("DB", 2)
+    refined = separator_lower_bound(alpha, ell, schedule.period)
+
+    return {
+        "D": dim,
+        "n": graph.n,
+        "period": schedule.period,
+        "measured_gossip": measured,
+        "certified_rounds": certificate.certified_rounds,
+        "norm": round(certificate.norm, 4),
+        "general_coeff": round(general.coefficient, 4),
+        "refined_coeff": round(refined.coefficient, 4),
+        "general_leading_term": round(general.coefficient * log_n, 2),
+        "refined_leading_term": round(refined.coefficient * log_n, 2),
+    }
+
+
+def main() -> None:
+    max_dim = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    print("de Bruijn DB(2, D): certified lower bounds vs. measured gossip times\n")
+    header = (
+        f"{'D':>2} {'n':>5} {'s':>3} {'measured':>9} {'certified':>10} "
+        f"{'‖M(λ)‖':>8} {'e_gen(s)':>9} {'e_DB(s)':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for dim in range(3, max_dim + 1):
+        row = analyse_dimension(dim)
+        print(
+            f"{row['D']:>2} {row['n']:>5} {row['period']:>3} {row['measured_gossip']:>9} "
+            f"{row['certified_rounds']:>10} {row['norm']:>8} {row['general_coeff']:>9} "
+            f"{row['refined_coeff']:>8}"
+        )
+        assert row["certified_rounds"] <= row["measured_gossip"]
+    print(
+        "\nThe certified column (Theorem 4.1 on the concrete schedule) can never exceed\n"
+        "the measured column; the analytic coefficients e(s) are asymptotic leading\n"
+        "constants and therefore only indicative at these small sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

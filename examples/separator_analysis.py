@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Domain scenario: how good are the Lemma 3.1 separators on real instances?
+
+Theorem 5.1 turns an ⟨α, ℓ⟩-separator into a lower bound; the quality of the
+bound for a *family* is governed by the asymptotic constants, but it is
+instructive to see how quickly concrete instances approach them.  This
+example constructs the separators of Lemma 3.1 on Butterfly, Wrapped
+Butterfly, de Bruijn and Kautz instances of growing size and prints
+
+* the measured set distance against the predicted ``ℓ·log₂ n``,
+* the measured ``log₂ min(|V₁|, |V₂|)`` against the predicted ``α·ℓ·log₂ n``,
+* the resulting systolic (s = 4) and non-systolic lower-bound coefficients.
+
+Run with ``python examples/separator_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from repro import nonsystolic_separator_bound, separator_lower_bound
+from repro.topologies.butterfly import butterfly, wrapped_butterfly, wrapped_butterfly_digraph
+from repro.topologies.debruijn import de_bruijn_digraph
+from repro.topologies.kautz import kautz_digraph
+from repro.topologies.separators import family_parameters, measure_separator, separator_for
+
+INSTANCES = [
+    ("BF", 2, 3, butterfly),
+    ("BF", 2, 4, butterfly),
+    ("WBF_digraph", 2, 4, wrapped_butterfly_digraph),
+    ("WBF", 2, 4, wrapped_butterfly),
+    ("WBF", 2, 6, wrapped_butterfly),
+    ("DB", 2, 5, de_bruijn_digraph),
+    ("DB", 2, 8, de_bruijn_digraph),
+    ("K", 2, 5, kautz_digraph),
+]
+
+
+def main() -> None:
+    print("Lemma 3.1 separators measured on concrete instances\n")
+    header = (
+        f"{'family':<12} {'D':>2} {'n':>6} {'dist':>5} {'ℓ·log2(n)':>10} "
+        f"{'log2|V|':>8} {'α·ℓ·log2(n)':>12} {'e(4)':>7} {'e(∞)':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for family, d, dim, factory in INSTANCES:
+        graph = factory(d, dim)
+        separator = separator_for(family, d, dim)
+        measurement = measure_separator(graph, separator)
+        alpha, ell = family_parameters(family, d)
+        systolic = separator_lower_bound(alpha, ell, 4)
+        unrestricted = nonsystolic_separator_bound(alpha, ell)
+        print(
+            f"{family:<12} {dim:>2} {graph.n:>6} {measurement.distance:>5} "
+            f"{measurement.predicted_distance:>10.2f} {measurement.log_min_size:>8.2f} "
+            f"{measurement.predicted_log_size:>12.2f} {systolic.coefficient:>7.4f} "
+            f"{unrestricted.coefficient:>7.4f}"
+        )
+    print(
+        "\nThe o(log n) slack in Definition 3.5 means small instances fall short of the\n"
+        "asymptotic predictions; the trend toward them as D grows is what matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-build-isolation`` works on offline machines whose
+setuptools lacks the ``wheel`` package required by PEP 660 editable builds
+(pip then falls back to the legacy ``setup.py develop`` route).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate any of the paper's tables.
+
+Usage (after ``pip install -e .``)::
+
+    repro-gossip fig4                 # the general systolic bound table
+    repro-gossip fig5                 # separator-refined systolic bounds
+    repro-gossip fig6                 # non-systolic bounds per topology
+    repro-gossip fig8                 # full-duplex bounds
+    repro-gossip structure            # the Fig. 1-3 / Fig. 7 matrices
+    repro-gossip sandwich             # certified vs. measured on instances
+    repro-gossip all                  # everything (the EXPERIMENTS.md source)
+
+or equivalently ``python -m repro <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.fig4 import fig4_table
+from repro.experiments.fig5 import fig5_table
+from repro.experiments.fig6 import fig6_table
+from repro.experiments.fig8 import fig8_table
+from repro.experiments.runner import format_table, run_all
+from repro.experiments.sandwich import sandwich_table
+from repro.experiments.structure import render_matrix, structure_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro-gossip`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description="Regenerate the tables of 'Lower bounds on systolic gossip'.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("fig4", help="general systolic lower bound (Fig. 4)")
+    sub.add_parser("fig5", help="separator-refined systolic bounds (Fig. 5)")
+    sub.add_parser("fig6", help="non-systolic bounds per topology (Fig. 6)")
+    sub.add_parser("fig8", help="full-duplex bounds (Fig. 8)")
+    sub.add_parser("structure", help="delay-matrix structure (Figs. 1-3 and 7)")
+    sandwich = sub.add_parser(
+        "sandwich", help="certified lower bounds vs. measured gossip times"
+    )
+    sandwich.add_argument(
+        "--unroll-periods",
+        type=int,
+        default=3,
+        help="periods to unroll when building delay digraphs (default 3)",
+    )
+    sub.add_parser("all", help="run every experiment (EXPERIMENTS.md source)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "fig4":
+        print(
+            format_table(
+                fig4_table(),
+                ["period_label", "lambda_star", "coefficient", "paper_coefficient", "deviation"],
+            )
+        )
+    elif command == "fig5":
+        print(
+            format_table(
+                fig5_table(),
+                [
+                    "family",
+                    "degree",
+                    "period",
+                    "coefficient",
+                    "general_coefficient",
+                    "improves_on_general",
+                    "paper_coefficient",
+                ],
+            )
+        )
+    elif command == "fig6":
+        print(
+            format_table(
+                fig6_table(),
+                [
+                    "family",
+                    "degree",
+                    "coefficient",
+                    "general_coefficient",
+                    "diameter_coefficient",
+                    "improves_on_general",
+                    "paper_coefficient",
+                ],
+            )
+        )
+    elif command == "fig8":
+        print(
+            format_table(
+                fig8_table(),
+                [
+                    "family",
+                    "degree",
+                    "period_label",
+                    "coefficient",
+                    "general_coefficient",
+                    "improves_on_general",
+                ],
+            )
+        )
+    elif command == "structure":
+        report = structure_report()
+        print(f"local protocol {report.local_protocol.activation_word()}  λ = {report.lam}")
+        print("Mx(λ):")
+        print(render_matrix(report.mx))
+        print("Nx(λ):")
+        print(render_matrix(report.nx))
+        print("Ox(λ):")
+        print(render_matrix(report.ox))
+        print(f"Lemma 4.2: {report.lemma42}")
+        print(f"Lemma 4.3: {report.lemma43}")
+        print(f"Lemma 6.1: {report.lemma61}")
+    elif command == "sandwich":
+        print(
+            format_table(
+                sandwich_table(unroll_periods=args.unroll_periods),
+                [
+                    "graph",
+                    "n",
+                    "mode",
+                    "period",
+                    "certified_lower_bound",
+                    "analytic_lower_bound",
+                    "measured_gossip_time",
+                    "consistent",
+                ],
+            )
+        )
+    elif command == "all":
+        print(run_all())
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""The paper's primary contribution: delay-digraph / matrix-norm lower bounds.
+
+Layout
+------
+``polynomials``
+    The polynomials ``p_i(λ) = 1 + λ² + … + λ^{2i-2}`` and the norm-bound
+    functions ``f(λ)`` they combine into (half-duplex systolic, full-duplex
+    systolic, and their ``s → ∞`` non-systolic limits).
+``roots``
+    Root solving for ``f(λ) = 1`` on ``(0, 1)``.
+``norms``
+    Euclidean matrix norms, spectral radii and the semi-eigenvector bound of
+    Lemma 2.1.
+``local_protocol``
+    The per-vertex activation-block description ``⟨(l_j), (r_j)⟩`` of an
+    s-systolic protocol (Section 4).
+``reduction``
+    The local delay matrix ``Mx(λ)`` (Fig. 1), its reduced forms ``Nx(λ)``
+    and ``Ox(λ)`` (Fig. 3), the semi-eigenvector of Lemma 4.2 and the norm
+    bound of Lemma 4.3.
+``delay``
+    The delay digraph ``DG`` and global delay matrix ``M(λ)`` of a concrete
+    protocol (Definitions 3.3 and 3.4), including the full-duplex local
+    matrices of Fig. 7.
+``general_bound``
+    Corollary 4.4 — the general systolic lower bound (Fig. 4).
+``separator_bound``
+    Theorem 5.1 — topology-refined bounds via ⟨α, ℓ⟩-separators (Figs. 5, 6).
+``full_duplex``
+    Section 6 — full-duplex general and separator bounds (Figs. 7, 8).
+``nonsystolic``
+    ``s → ∞`` limits, including the 1.4404·log₂ n golden-ratio bound.
+``certificates``
+    Theorem 4.1 applied to concrete protocols: numerically certified lower
+    bounds on the length of a given protocol.
+"""
+
+from repro.core.polynomials import (
+    GOLDEN_RATIO_INVERSE,
+    full_duplex_norm_bound,
+    full_duplex_norm_bound_limit,
+    half_duplex_norm_bound,
+    half_duplex_norm_bound_limit,
+    norm_bound_product,
+    p_polynomial,
+    split_period,
+)
+from repro.core.roots import solve_unit_root
+from repro.core.norms import (
+    euclidean_norm,
+    semi_eigenvalue_bound,
+    spectral_radius,
+    verify_semi_eigenvector,
+)
+from repro.core.local_protocol import LocalProtocol
+from repro.core.reduction import (
+    local_delay_matrix,
+    reduced_left_matrix,
+    reduced_right_matrix,
+    semi_eigenvector,
+    verify_lemma_42,
+    verify_lemma_43,
+)
+from repro.core.delay import DelayDigraph, full_duplex_local_matrix
+from repro.core.general_bound import GeneralBound, general_lower_bound, theorem41_rounds
+from repro.core.separator_bound import SeparatorBound, separator_lower_bound
+from repro.core.full_duplex import (
+    full_duplex_general_bound,
+    full_duplex_separator_bound,
+)
+from repro.core.nonsystolic import (
+    nonsystolic_general_bound,
+    nonsystolic_separator_bound,
+)
+from repro.core.certificates import LowerBoundCertificate, certify_protocol
+
+__all__ = [
+    "p_polynomial",
+    "split_period",
+    "norm_bound_product",
+    "half_duplex_norm_bound",
+    "half_duplex_norm_bound_limit",
+    "full_duplex_norm_bound",
+    "full_duplex_norm_bound_limit",
+    "GOLDEN_RATIO_INVERSE",
+    "solve_unit_root",
+    "euclidean_norm",
+    "spectral_radius",
+    "semi_eigenvalue_bound",
+    "verify_semi_eigenvector",
+    "LocalProtocol",
+    "local_delay_matrix",
+    "reduced_left_matrix",
+    "reduced_right_matrix",
+    "semi_eigenvector",
+    "verify_lemma_42",
+    "verify_lemma_43",
+    "DelayDigraph",
+    "full_duplex_local_matrix",
+    "GeneralBound",
+    "general_lower_bound",
+    "theorem41_rounds",
+    "SeparatorBound",
+    "separator_lower_bound",
+    "full_duplex_general_bound",
+    "full_duplex_separator_bound",
+    "nonsystolic_general_bound",
+    "nonsystolic_separator_bound",
+    "LowerBoundCertificate",
+    "certify_protocol",
+]

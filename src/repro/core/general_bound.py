@@ -1,0 +1,134 @@
+"""The general systolic lower bound (Theorem 4.1, Corollary 4.4, Fig. 4).
+
+For any network of ``n`` processors and any s-systolic gossip protocol in the
+directed or half-duplex mode, the gossiping time satisfies
+
+    ``t ≥ e(s)·log₂(n) − O(log log n)``,   ``e(s) = 1/log₂(1/λ)``,
+
+where ``λ`` is the unique solution in ``(0, 1)`` of
+``λ·√(p_⌈s/2⌉(λ))·√(p_⌊s/2⌋(λ)) = 1``.  The same machinery with a different
+norm-bound function covers the full-duplex mode (Section 6) and the
+non-systolic limits (``s → ∞``), so :class:`GeneralBound` is shared by all
+of them.
+
+:func:`theorem41_rounds` exposes the *finite-n* form of Theorem 4.1: the
+smallest integer ``t`` compatible with ``t² ≥ λ^t·2(n-1)``, which is the
+inequality the proof actually derives before weakening it to the asymptotic
+statement.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.polynomials import (
+    half_duplex_norm_bound,
+    half_duplex_norm_bound_limit,
+)
+from repro.core.roots import solve_unit_root
+from repro.exceptions import BoundComputationError
+
+__all__ = ["GeneralBound", "general_lower_bound", "theorem41_rounds"]
+
+
+@dataclass(frozen=True)
+class GeneralBound:
+    """A lower bound of the form ``t ≥ coefficient·log₂(n) − O(log log n)``.
+
+    Attributes
+    ----------
+    mode:
+        ``"half-duplex"`` (which also covers the directed case) or
+        ``"full-duplex"``.
+    period:
+        The systolic period ``s``, or ``None`` for the non-systolic limit.
+    lambda_star:
+        The root ``λ`` of the characteristic equation ``f(λ) = 1``.
+    coefficient:
+        ``e(s) = 1/log₂(1/λ)`` — the multiplicative constant of the bound.
+    """
+
+    mode: str
+    period: int | None
+    lambda_star: float
+    coefficient: float
+
+    def lower_bound(self, n: int) -> float:
+        """The leading term ``e(s)·log₂(n)`` of the bound for an ``n``-vertex network."""
+        if n < 2:
+            raise BoundComputationError(f"a gossip instance needs n >= 2 vertices, got {n}")
+        return self.coefficient * math.log2(n)
+
+    def certified_rounds(self, n: int) -> int:
+        """The exact finite-``n`` bound of Theorem 4.1 at ``λ = lambda_star``."""
+        return theorem41_rounds(n, self.lambda_star)
+
+    def describe(self) -> str:
+        """One-line description such as ``'s=4: t >= 1.8133 log2(n) - O(log log n)'``."""
+        period = "∞" if self.period is None else str(self.period)
+        return (
+            f"{self.mode}, s={period}: t >= {self.coefficient:.4f}·log2(n) - O(log log n)"
+            f"  (λ* = {self.lambda_star:.6f})"
+        )
+
+
+def general_lower_bound(s: int | None) -> GeneralBound:
+    """Corollary 4.4: the general directed/half-duplex bound for period ``s``.
+
+    ``s = None`` yields the non-systolic limit (``λ`` the inverse golden
+    ratio, coefficient 1.4404).  Periods 1 and 2 are rejected: for ``s ≤ 2``
+    the arcs of the period form a directed cycle along which items advance by
+    at most one arc per step, so gossiping takes at least ``n - 1`` rounds
+    and the logarithmic machinery does not apply (see the remark opening
+    Section 4).
+    """
+    if s is not None and s <= 2:
+        raise BoundComputationError(
+            f"the general systolic bound requires s >= 3 (got s={s}); for s <= 2 the paper "
+            "notes that gossiping already takes at least n - 1 rounds"
+        )
+    if s is None:
+        norm_bound: Callable[[float], float] = half_duplex_norm_bound_limit
+    else:
+        norm_bound = lambda lam: half_duplex_norm_bound(s, lam)  # noqa: E731
+    lam = solve_unit_root(norm_bound)
+    coefficient = 1.0 / math.log2(1.0 / lam)
+    return GeneralBound(
+        mode="half-duplex", period=s, lambda_star=lam, coefficient=coefficient
+    )
+
+
+def theorem41_rounds(n: int, lam: float) -> int:
+    """Smallest integer ``t`` satisfying ``t² ≥ λ^t · 2(n - 1)``.
+
+    Any gossip protocol whose delay matrix satisfies ``‖M(λ)‖ ≤ 1`` must have
+    length at least this value (the inequality derived in the proof of
+    Theorem 4.1 before the asymptotic weakening).  The returned value is
+    therefore a *certified*, finite-``n`` lower bound.
+    """
+    if n < 2:
+        raise BoundComputationError(f"a gossip instance needs n >= 2 vertices, got {n}")
+    if not 0.0 < lam < 1.0:
+        raise BoundComputationError(f"λ must lie in (0, 1), got {lam!r}")
+
+    def feasible(t: int) -> bool:
+        # t^2 >= lam^t * 2 (n - 1)  <=>  2 log2 t >= t log2 lam + 1 + log2(n-1)
+        return 2.0 * math.log2(t) >= t * math.log2(lam) + 1.0 + math.log2(n - 1)
+
+    # The left side grows (slowly) and the right side decreases linearly in t,
+    # so feasibility is monotone; find the threshold by exponential + binary search.
+    t = 1
+    while not feasible(t):
+        t *= 2
+        if t > 10**9:  # pragma: no cover - defensive
+            raise BoundComputationError("theorem41_rounds failed to find a feasible t")
+    lo, hi = max(1, t // 2), t
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,183 @@
+"""Local activation-block description of an s-systolic protocol (Section 4).
+
+Around a fixed vertex ``x``, an s-systolic half-duplex (or directed) protocol
+is characterised by two sequences of positive integers
+``⟨(l_j)_{j=0..k-1}, (r_j)_{j=0..k-1}⟩``: within one period the vertex first
+sees ``l_0`` consecutive *left* activations (incoming arcs), then ``r_0``
+consecutive *right* activations (outgoing arcs), then ``l_1`` left
+activations, and so on, with ``Σ_j (l_j + r_j) = s``.
+
+:class:`LocalProtocol` stores these sequences, extends them periodically to
+``h ≥ k`` blocks (``l_j = l_{j mod k}``), and exposes the delays
+
+    ``d_{i,j} = 1 + Σ_{c=i}^{j-1} (r_c + l_{c+1})``
+
+between the last activation of left block ``i`` and the first activation of
+right block ``j``, which are the exponents appearing in the local delay
+matrix ``Mx(λ)`` (Fig. 1) and its reductions (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["LocalProtocol"]
+
+
+@dataclass(frozen=True)
+class LocalProtocol:
+    """The per-period left/right activation-block structure at one vertex.
+
+    Parameters
+    ----------
+    left_blocks:
+        ``(l_0, …, l_{k-1})`` — lengths of the runs of consecutive left
+        (incoming) activations within one period.
+    right_blocks:
+        ``(r_0, …, r_{k-1})`` — lengths of the runs of consecutive right
+        (outgoing) activations; ``right_blocks[j]`` follows
+        ``left_blocks[j]`` chronologically.
+    """
+
+    left_blocks: tuple[int, ...]
+    right_blocks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.left_blocks) != len(self.right_blocks):
+            raise ProtocolError(
+                "left and right block sequences must have the same length "
+                f"(got {len(self.left_blocks)} and {len(self.right_blocks)})"
+            )
+        if not self.left_blocks:
+            raise ProtocolError("a local protocol needs at least one activation block pair")
+        if any(l <= 0 for l in self.left_blocks) or any(r <= 0 for r in self.right_blocks):
+            raise ProtocolError("activation block lengths must be positive integers")
+        object.__setattr__(self, "left_blocks", tuple(int(l) for l in self.left_blocks))
+        object.__setattr__(self, "right_blocks", tuple(int(r) for r in self.right_blocks))
+
+    # ------------------------------------------------------------------ #
+    # basic quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        """Number of left (equivalently right) activation blocks per period."""
+        return len(self.left_blocks)
+
+    @property
+    def period(self) -> int:
+        """The systolic period ``s = Σ_j (l_j + r_j)``."""
+        return sum(self.left_blocks) + sum(self.right_blocks)
+
+    @property
+    def left_total(self) -> int:
+        """``l_0 + … + l_{k-1}`` — total left activations per period."""
+        return sum(self.left_blocks)
+
+    @property
+    def right_total(self) -> int:
+        """``r_0 + … + r_{k-1}`` — total right activations per period."""
+        return sum(self.right_blocks)
+
+    # ------------------------------------------------------------------ #
+    # periodic extension and delays
+    # ------------------------------------------------------------------ #
+    def left(self, j: int) -> int:
+        """``l_j`` with the periodic extension ``l_j = l_{j mod k}``."""
+        if j < 0:
+            raise ProtocolError(f"block index must be non-negative, got {j}")
+        return self.left_blocks[j % self.k]
+
+    def right(self, j: int) -> int:
+        """``r_j`` with the periodic extension ``r_j = r_{j mod k}``."""
+        if j < 0:
+            raise ProtocolError(f"block index must be non-negative, got {j}")
+        return self.right_blocks[j % self.k]
+
+    def delay(self, i: int, j: int) -> int:
+        """``d_{i,j} = 1 + Σ_{c=i}^{j-1} (r_c + l_{c+1})`` for ``i ≤ j``.
+
+        This is the number of rounds between the last activation of left
+        block ``i`` and the first activation of right block ``j``.
+        """
+        if j < i:
+            raise ProtocolError(f"delay d_(i,j) requires i <= j, got i={i}, j={j}")
+        return 1 + sum(self.right(c) + self.left(c + 1) for c in range(i, j))
+
+    def activation_word(self) -> str:
+        """The period written as a word over {L, R}, e.g. ``"LLRRLR"``."""
+        parts: list[str] = []
+        for l, r in zip(self.left_blocks, self.right_blocks):
+            parts.append("L" * l)
+            parts.append("R" * r)
+        return "".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_activation_word(cls, word: str) -> "LocalProtocol":
+        """Parse a complete periodic activation word over the alphabet {L, R}.
+
+        The word is rotated (cyclically) so that it starts with a left
+        activation and ends with a right activation — legitimate because an
+        s-systolic protocol's period can be read starting at any round — and
+        then split into maximal runs.  Words containing other symbols (idle
+        rounds, full-duplex activations) or consisting of a single symbol
+        repeated are rejected: they do not describe a *complete* alternating
+        local protocol in the sense of Section 4.
+        """
+        if not word:
+            raise ProtocolError("empty activation word")
+        cleaned = word.upper()
+        invalid = set(cleaned) - {"L", "R"}
+        if invalid:
+            raise ProtocolError(
+                f"activation word may only contain 'L' and 'R', found {sorted(invalid)!r}"
+            )
+        if "L" not in cleaned or "R" not in cleaned:
+            raise ProtocolError(
+                "a complete local protocol must contain both left and right activations"
+            )
+        # Rotate so the word starts with an L that follows an R cyclically,
+        # which guarantees it also ends with an R.
+        n = len(cleaned)
+        start = None
+        for i in range(n):
+            if cleaned[i] == "L" and cleaned[i - 1] == "R":
+                start = i
+                break
+        if start is None:  # pragma: no cover - impossible when both symbols occur
+            raise ProtocolError("could not rotate activation word to start with 'L'")
+        rotated = cleaned[start:] + cleaned[:start]
+
+        left_blocks: list[int] = []
+        right_blocks: list[int] = []
+        index = 0
+        while index < n:
+            run_start = index
+            while index < n and rotated[index] == "L":
+                index += 1
+            left_blocks.append(index - run_start)
+            run_start = index
+            while index < n and rotated[index] == "R":
+                index += 1
+            right_blocks.append(index - run_start)
+        return cls(tuple(left_blocks), tuple(right_blocks))
+
+    @classmethod
+    def balanced(cls, s: int) -> "LocalProtocol":
+        """The single-block local protocol with ``⌈s/2⌉`` lefts then ``⌊s/2⌋`` rights.
+
+        This is the extremal shape of Lemma 4.3: its semi-eigenvalue
+        ``λ·√(p_⌈s/2⌉)·√(p_⌊s/2⌋)`` is the largest over all local protocols
+        of period ``s``.
+        """
+        if s < 2:
+            raise ProtocolError(f"a balanced local protocol needs period s >= 2, got {s}")
+        return cls(((s + 1) // 2,), (s // 2,))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalProtocol({self.activation_word()!r}, s={self.period}, k={self.k})"

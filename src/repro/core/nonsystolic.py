@@ -1,0 +1,57 @@
+"""Non-systolic (unrestricted) limits of the lower bounds (``s → ∞``).
+
+Allowing the systolic period to be at least the protocol length removes the
+periodicity restriction, so the ``s → ∞`` limits of the bounds apply to
+*every* gossip protocol:
+
+* half-duplex / directed: ``λ/(1 - λ²) = 1`` at the inverse golden ratio,
+  giving the 1.4404·log₂(n) − O(log log n) bound — an ``O(log log n)``
+  additive factor away from the classical result of [4, 17, 15, 26];
+* full-duplex: ``λ/(1 - λ) = 1`` at ``λ = 1/2``, coefficient 1 (matching the
+  broadcasting bound);
+* separator-refined versions of both, which for Butterfly, de Bruijn and
+  Kautz networks *improve* on the previously known non-systolic bounds
+  (Fig. 6 and Fig. 8, rightmost columns).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.full_duplex import full_duplex_general_bound, full_duplex_separator_bound
+from repro.core.general_bound import GeneralBound, general_lower_bound
+from repro.core.polynomials import GOLDEN_RATIO_INVERSE
+from repro.core.separator_bound import SeparatorBound, separator_lower_bound
+
+__all__ = [
+    "GOLDEN_RATIO_INVERSE",
+    "HALF_DUPLEX_NONSYSTOLIC_COEFFICIENT",
+    "nonsystolic_general_bound",
+    "nonsystolic_separator_bound",
+    "nonsystolic_full_duplex_general_bound",
+    "nonsystolic_full_duplex_separator_bound",
+]
+
+#: ``1/log₂(φ) ≈ 1.4404`` — the coefficient of the general non-systolic
+#: half-duplex bound (and of the classical gossiping bound of [4,17,15,26]).
+HALF_DUPLEX_NONSYSTOLIC_COEFFICIENT = 1.0 / math.log2(1.0 / GOLDEN_RATIO_INVERSE)
+
+
+def nonsystolic_general_bound() -> GeneralBound:
+    """The 1.4404·log₂(n) − O(log log n) bound for arbitrary half-duplex protocols."""
+    return general_lower_bound(None)
+
+
+def nonsystolic_separator_bound(alpha: float, ell: float) -> SeparatorBound:
+    """Corollary 5.3: the non-systolic separator-refined half-duplex bound."""
+    return separator_lower_bound(alpha, ell, None, mode="half-duplex")
+
+
+def nonsystolic_full_duplex_general_bound() -> GeneralBound:
+    """The non-systolic full-duplex limit (coefficient 1, i.e. the broadcast bound)."""
+    return full_duplex_general_bound(None)
+
+
+def nonsystolic_full_duplex_separator_bound(alpha: float, ell: float) -> SeparatorBound:
+    """The non-systolic separator-refined full-duplex bound (Fig. 8, s = ∞ column)."""
+    return full_duplex_separator_bound(alpha, ell, None)

@@ -1,0 +1,141 @@
+"""Matrix norms, spectral radii and semi-eigenvector certificates (Section 2).
+
+The lower-bound technique only ever needs three linear-algebra facts:
+
+* the Euclidean (spectral) norm ``‖M‖ = √ρ(MᵀM)``,
+* the spectral radius ``ρ(M)``, and
+* Lemma 2.1: if ``x > 0`` (component-wise) and ``M x ≤ e·x`` for a
+  non-negative matrix ``M``, then ``ρ(M) ≤ e`` ("semi-eigenvector" bound).
+
+Dense numpy implementations suffice because every matrix the library builds
+is either a small per-vertex block (size ≈ period) or the block-diagonal
+assembly of such blocks, whose norm is the maximum block norm
+(norm property 8 of Section 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import BoundComputationError
+
+__all__ = [
+    "euclidean_norm",
+    "spectral_radius",
+    "verify_semi_eigenvector",
+    "semi_eigenvalue_bound",
+    "block_diagonal_norm",
+    "power_iteration_norm",
+]
+
+
+def _as_matrix(m: np.ndarray) -> np.ndarray:
+    arr = np.asarray(m, dtype=float)
+    if arr.ndim != 2:
+        raise BoundComputationError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return arr
+
+
+def euclidean_norm(m: np.ndarray) -> float:
+    """The Euclidean (spectral) matrix norm ``‖M‖₂`` — the largest singular value."""
+    arr = _as_matrix(m)
+    if arr.size == 0:
+        return 0.0
+    return float(np.linalg.norm(arr, ord=2))
+
+
+def spectral_radius(m: np.ndarray) -> float:
+    """``ρ(M)`` — the maximum modulus of an eigenvalue (square matrices only)."""
+    arr = _as_matrix(m)
+    if arr.shape[0] != arr.shape[1]:
+        raise BoundComputationError(
+            f"spectral radius needs a square matrix, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        return 0.0
+    eigenvalues = np.linalg.eigvals(arr)
+    return float(np.max(np.abs(eigenvalues)))
+
+
+def verify_semi_eigenvector(
+    m: np.ndarray,
+    x: Sequence[float] | np.ndarray,
+    e: float,
+    *,
+    tolerance: float = 1e-10,
+) -> bool:
+    """Check Definition 2.2: ``M x ≤ e·x`` component-wise (within ``tolerance``)."""
+    arr = _as_matrix(m)
+    vec = np.asarray(x, dtype=float).reshape(-1)
+    if arr.shape[1] != vec.shape[0]:
+        raise BoundComputationError(
+            f"dimension mismatch: matrix has {arr.shape[1]} columns, vector has {vec.shape[0]}"
+        )
+    if not np.any(vec):
+        raise BoundComputationError("a semi-eigenvector must be non-null")
+    return bool(np.all(arr @ vec <= e * vec + tolerance))
+
+
+def semi_eigenvalue_bound(
+    m: np.ndarray,
+    x: Sequence[float] | np.ndarray,
+    *,
+    tolerance: float = 1e-12,
+) -> float:
+    """Lemma 2.1 as a computation: the smallest ``e`` with ``M x ≤ e·x``.
+
+    Requires ``M ≥ 0`` and ``x > 0`` strictly; the returned value is then an
+    upper bound on ``ρ(M)`` (and hence, for symmetric arguments such as
+    ``MᵀM``, on the squared Euclidean norm).
+    """
+    arr = _as_matrix(m)
+    vec = np.asarray(x, dtype=float).reshape(-1)
+    if arr.shape[0] != arr.shape[1] or arr.shape[1] != vec.shape[0]:
+        raise BoundComputationError(
+            f"Lemma 2.1 needs a square matrix matching the vector: {arr.shape} vs {vec.shape}"
+        )
+    if np.any(arr < -tolerance):
+        raise BoundComputationError("Lemma 2.1 requires a non-negative matrix")
+    if np.any(vec <= 0.0):
+        raise BoundComputationError("Lemma 2.1 requires a strictly positive vector")
+    image = arr @ vec
+    return float(np.max(image / vec))
+
+
+def block_diagonal_norm(blocks: Sequence[np.ndarray]) -> float:
+    """Norm property 8: the norm of a block-diagonal matrix is the max block norm."""
+    if not blocks:
+        return 0.0
+    return max(euclidean_norm(b) for b in blocks)
+
+
+def power_iteration_norm(
+    m: np.ndarray,
+    *,
+    iterations: int = 200,
+    seed: int = 0,
+) -> float:
+    """Estimate ``‖M‖₂`` by power iteration on ``MᵀM``.
+
+    Used as an independent cross-check of :func:`euclidean_norm` in tests and
+    benchmarks; it always under-estimates (it converges from below), so the
+    check ``power_iteration_norm(M) ≤ euclidean_norm(M) + ε`` is exact.
+    """
+    arr = _as_matrix(m)
+    if arr.size == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    vec = rng.random(arr.shape[1]) + 1e-3
+    vec /= np.linalg.norm(vec)
+    gram = arr.T @ arr
+    estimate = 0.0
+    for _ in range(iterations):
+        nxt = gram @ vec
+        norm = np.linalg.norm(nxt)
+        if norm == 0.0:
+            return 0.0
+        vec = nxt / norm
+        estimate = norm
+    return float(np.sqrt(estimate))

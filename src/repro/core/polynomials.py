@@ -1,0 +1,127 @@
+"""The polynomials ``p_i(λ)`` and the norm-bound functions built from them.
+
+Section 4 of the paper bounds the Euclidean norm of the delay matrix of any
+s-systolic half-duplex (or directed) protocol by
+
+    ``‖M(λ)‖ ≤ λ · √(p_⌈s/2⌉(λ)) · √(p_⌊s/2⌋(λ))``           (Lemma 4.3)
+
+where ``p_i(λ) = 1 + λ² + λ⁴ + … + λ^{2i-2}`` (``i`` terms of even powers).
+Section 6 gives the full-duplex analogue ``‖M(λ)‖ ≤ λ + λ² + … + λ^{s-1}``
+(Lemma 6.1).  Letting ``s → ∞`` yields the non-systolic limits
+``λ/(1-λ²)`` and ``λ/(1-λ)``.
+
+All of these are strictly increasing in ``λ`` on ``[0, 1)``, which is what
+lets :mod:`repro.core.roots` find the unique ``λ`` with ``f(λ) = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import BoundComputationError
+
+__all__ = [
+    "p_polynomial",
+    "split_period",
+    "norm_bound_product",
+    "half_duplex_norm_bound",
+    "half_duplex_norm_bound_limit",
+    "full_duplex_norm_bound",
+    "full_duplex_norm_bound_limit",
+    "geometric_sum",
+    "GOLDEN_RATIO_INVERSE",
+]
+
+#: ``1/φ = (√5 - 1)/2``: the root of ``λ/(1 - λ²) = 1``; gives the
+#: 1.4404·log₂(n) non-systolic half-duplex bound.
+GOLDEN_RATIO_INVERSE = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _check_lambda(lam: float) -> None:
+    if not 0.0 <= lam < 1.0:
+        raise BoundComputationError(f"λ must lie in [0, 1), got {lam!r}")
+
+
+def p_polynomial(i: int, lam: float) -> float:
+    """``p_i(λ) = 1 + λ² + … + λ^{2i-2}`` — ``i`` terms of even powers.
+
+    Defined for every integer ``i > 0`` (the paper's convention); ``i = 0``
+    is accepted and returns 0, which is the natural empty-sum value and makes
+    the identity ``p_i(λ) + λ^{2i}·p_j(λ) = p_{i+j}(λ)`` hold for all
+    non-negative ``i, j``.
+    """
+    if i < 0:
+        raise BoundComputationError(f"p_i is defined for i >= 0, got i={i}")
+    _check_lambda(lam)
+    if i == 0:
+        return 0.0
+    if lam == 0.0:
+        return 1.0
+    square = lam * lam
+    if square == 1.0:  # unreachable given _check_lambda, kept for clarity
+        return float(i)
+    return (1.0 - square**i) / (1.0 - square)
+
+
+def geometric_sum(lam: float, first_power: int, last_power: int) -> float:
+    """``λ^first + λ^{first+1} + … + λ^last`` (0 when the range is empty)."""
+    _check_lambda(lam)
+    if last_power < first_power:
+        return 0.0
+    if lam == 0.0:
+        return 1.0 if first_power == 0 else 0.0
+    return sum(lam**k for k in range(first_power, last_power + 1))
+
+
+def split_period(s: int) -> tuple[int, int]:
+    """``(⌈s/2⌉, ⌊s/2⌋)`` — the left/right activation-block totals of Lemma 4.3."""
+    if s < 1:
+        raise BoundComputationError(f"systolic period must be >= 1, got {s}")
+    return (s + 1) // 2, s // 2
+
+
+def norm_bound_product(left_total: int, right_total: int, lam: float) -> float:
+    """``λ · √(p_left(λ)) · √(p_right(λ))`` for arbitrary block totals.
+
+    This is the semi-eigenvalue produced by Lemma 4.2 for a local protocol
+    whose left activation blocks total ``left_total`` rounds and whose right
+    blocks total ``right_total`` rounds per period.
+    """
+    _check_lambda(lam)
+    if left_total < 0 or right_total < 0:
+        raise BoundComputationError("activation block totals must be non-negative")
+    return lam * math.sqrt(p_polynomial(left_total, lam)) * math.sqrt(
+        p_polynomial(right_total, lam)
+    )
+
+
+def half_duplex_norm_bound(s: int, lam: float) -> float:
+    """Lemma 4.3 bound ``λ·√(p_⌈s/2⌉(λ))·√(p_⌊s/2⌋(λ))`` for period ``s``.
+
+    The split at ``s/2`` is the worst case over all ways of dividing the
+    period into left and right activation totals (the paper proves
+    ``p_{i+1}·p_{j-1} < p_i·p_j`` whenever ``i ≥ j``).
+    """
+    if s < 1:
+        raise BoundComputationError(f"systolic period must be >= 1, got {s}")
+    left, right = split_period(s)
+    return norm_bound_product(left, right, lam)
+
+
+def half_duplex_norm_bound_limit(lam: float) -> float:
+    """``s → ∞`` limit ``λ/(1 - λ²)`` (equals 1 at the inverse golden ratio)."""
+    _check_lambda(lam)
+    return lam / (1.0 - lam * lam)
+
+
+def full_duplex_norm_bound(s: int, lam: float) -> float:
+    """Lemma 6.1 bound ``λ + λ² + … + λ^{s-1}`` for full-duplex period ``s``."""
+    if s < 2:
+        raise BoundComputationError(f"full-duplex bound needs period s >= 2, got {s}")
+    return geometric_sum(lam, 1, s - 1)
+
+
+def full_duplex_norm_bound_limit(lam: float) -> float:
+    """``s → ∞`` limit ``λ/(1 - λ)`` of the full-duplex norm bound."""
+    _check_lambda(lam)
+    return lam / (1.0 - lam)

@@ -1,0 +1,216 @@
+"""Local delay matrices and their reductions (Section 4, Figs. 1–3).
+
+Given the local protocol ``⟨(l_j), (r_j)⟩`` at a vertex, the paper builds:
+
+* ``Mx(λ)`` — the local delay matrix.  Rows are the left activations (grouped
+  by block, within a block in *reverse* round order), columns are the right
+  activations (grouped by block, within a block in round order).  The block
+  ``B_{i,j}`` (left block ``i`` against right block ``j``) is zero unless
+  ``i ≤ j < i + k``, in which case ``B_{i,j} = λ^{d_{i,j}} · ō_{l_i} ō_{r_j}ᵀ``
+  with ``ō_m = (1, λ, …, λ^{m-1})ᵀ``.
+* ``Nx(λ)`` — the ``h × h`` matrix of the mapping restricted to the subspaces
+  spanned by the vectors ``r̄_i`` / ``l̄_j``: entry ``(i, j)`` equals
+  ``λ^{d_{i,j}} p_{r_j}(λ)`` on the same band, zero elsewhere.
+* ``Ox(λ)`` — the analogous reduction of ``Mx(λ)ᵀ``: entry ``(i, j)`` equals
+  ``λ^{d_{j,i}} p_{l_j}(λ)`` for ``i - k < j ≤ i``, zero elsewhere.
+* the semi-eigenvector ``e`` with ``e_j = λ^{Σ_{c<j}(r_c − l_{c+1})}``
+  (Lemma 4.2), whose semi-eigenvalues give the norm bound of Lemma 4.3.
+
+Everything here is closed-form; the functions are deliberately written to
+mirror the paper so that the property tests can confront them with the
+matrices assembled numerically from concrete protocols
+(:mod:`repro.core.delay`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.local_protocol import LocalProtocol
+from repro.core.norms import euclidean_norm, spectral_radius
+from repro.core.polynomials import norm_bound_product, p_polynomial
+from repro.exceptions import BoundComputationError
+
+__all__ = [
+    "geometric_column",
+    "local_delay_matrix",
+    "reduced_right_matrix",
+    "reduced_left_matrix",
+    "semi_eigenvector",
+    "restriction_matrices",
+    "verify_lemma_42",
+    "verify_lemma_43",
+    "local_norm",
+]
+
+
+def _check_h(local: LocalProtocol, h: int) -> None:
+    if h < local.k:
+        raise BoundComputationError(
+            f"the number of blocks h must be at least k={local.k}, got {h}"
+        )
+
+
+def geometric_column(m: int, lam: float) -> np.ndarray:
+    """``ō_m = (1, λ, λ², …, λ^{m-1})ᵀ`` as a 1-D array."""
+    if m < 0:
+        raise BoundComputationError(f"vector length must be non-negative, got {m}")
+    return lam ** np.arange(m, dtype=float)
+
+
+def local_delay_matrix(local: LocalProtocol, lam: float, h: int | None = None) -> np.ndarray:
+    """The local delay matrix ``Mx(λ)`` with ``h`` activation-block pairs (Fig. 1)."""
+    h = 3 * local.k if h is None else h
+    _check_h(local, h)
+    k = local.k
+    left_sizes = [local.left(i) for i in range(h)]
+    right_sizes = [local.right(j) for j in range(h)]
+    row_offsets = np.concatenate(([0], np.cumsum(left_sizes)))
+    col_offsets = np.concatenate(([0], np.cumsum(right_sizes)))
+    matrix = np.zeros((int(row_offsets[-1]), int(col_offsets[-1])), dtype=float)
+    for i in range(h):
+        rows = geometric_column(left_sizes[i], lam)
+        for j in range(i, min(i + k, h)):
+            cols = geometric_column(right_sizes[j], lam)
+            block = (lam ** local.delay(i, j)) * np.outer(rows, cols)
+            matrix[
+                row_offsets[i] : row_offsets[i + 1],
+                col_offsets[j] : col_offsets[j + 1],
+            ] = block
+    return matrix
+
+
+def reduced_right_matrix(local: LocalProtocol, lam: float, h: int | None = None) -> np.ndarray:
+    """``Nx(λ)``: entry ``(i, j) = λ^{d_{i,j}} p_{r_j}(λ)`` for ``i ≤ j < i + k`` (Fig. 3)."""
+    h = 3 * local.k if h is None else h
+    _check_h(local, h)
+    k = local.k
+    matrix = np.zeros((h, h), dtype=float)
+    for i in range(h):
+        for j in range(i, min(i + k, h)):
+            matrix[i, j] = (lam ** local.delay(i, j)) * p_polynomial(local.right(j), lam)
+    return matrix
+
+
+def reduced_left_matrix(local: LocalProtocol, lam: float, h: int | None = None) -> np.ndarray:
+    """``Ox(λ)``: entry ``(i, j) = λ^{d_{j,i}} p_{l_j}(λ)`` for ``i - k < j ≤ i`` (Fig. 3)."""
+    h = 3 * local.k if h is None else h
+    _check_h(local, h)
+    k = local.k
+    matrix = np.zeros((h, h), dtype=float)
+    for i in range(h):
+        for j in range(max(0, i - k + 1), i + 1):
+            matrix[i, j] = (lam ** local.delay(j, i)) * p_polynomial(local.left(j), lam)
+    return matrix
+
+
+def semi_eigenvector(local: LocalProtocol, lam: float, h: int | None = None) -> np.ndarray:
+    """The vector ``e`` of Lemma 4.2: ``e_j = λ^{Σ_{c=0}^{j-1}(r_c − l_{c+1})}``."""
+    h = 3 * local.k if h is None else h
+    _check_h(local, h)
+    exponents = np.zeros(h, dtype=float)
+    running = 0
+    for j in range(1, h):
+        running += local.right(j - 1) - local.left(j)
+        exponents[j] = running
+    return lam**exponents
+
+
+def restriction_matrices(
+    local: LocalProtocol, lam: float, h: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The matrices ``P`` (columns ``r̄_j``) and ``Q`` (columns ``l̄_i``) of Section 4.
+
+    ``P`` stacks the basis vectors of the row space of ``Mx(λ)``
+    (``r̄_j = 0_{r_0} ⋯ ō_{r_j} ⋯ 0``), ``Q`` the basis of the column space
+    (``l̄_i``).  They connect the closed-form ``Nx(λ)``/``Ox(λ)`` to the full
+    local matrix: selecting the first row of each left block of ``Mx(λ)``
+    gives ``M′`` with ``Nx = M′ P``, and symmetrically for ``Ox``.
+    """
+    h = 3 * local.k if h is None else h
+    _check_h(local, h)
+    right_sizes = [local.right(j) for j in range(h)]
+    left_sizes = [local.left(i) for i in range(h)]
+    col_offsets = np.concatenate(([0], np.cumsum(right_sizes)))
+    row_offsets = np.concatenate(([0], np.cumsum(left_sizes)))
+    p_matrix = np.zeros((int(col_offsets[-1]), h), dtype=float)
+    q_matrix = np.zeros((int(row_offsets[-1]), h), dtype=float)
+    for j in range(h):
+        p_matrix[col_offsets[j] : col_offsets[j + 1], j] = geometric_column(right_sizes[j], lam)
+        q_matrix[row_offsets[j] : row_offsets[j + 1], j] = geometric_column(left_sizes[j], lam)
+    return p_matrix, q_matrix
+
+
+def verify_lemma_42(
+    local: LocalProtocol,
+    lam: float,
+    h: int | None = None,
+    *,
+    tolerance: float = 1e-10,
+) -> dict[str, float | bool]:
+    """Numerically verify Lemma 4.2 for one local protocol and one λ.
+
+    Returns a report containing the two claimed semi-eigenvalues
+    ``λ·p_{r_0+…+r_{k-1}}(λ)`` and ``λ·p_{l_0+…+l_{k-1}}(λ)``, the maximal
+    componentwise ratios ``(N e)_i / e_i`` and ``(O e)_i / e_i`` actually
+    observed, and booleans stating whether the inequalities hold.
+    """
+    h = 3 * local.k if h is None else h
+    e = semi_eigenvector(local, lam, h)
+    n_matrix = reduced_right_matrix(local, lam, h)
+    o_matrix = reduced_left_matrix(local, lam, h)
+    right_value = lam * p_polynomial(local.right_total, lam)
+    left_value = lam * p_polynomial(local.left_total, lam)
+    n_ratio = float(np.max((n_matrix @ e) / e))
+    o_ratio = float(np.max((o_matrix @ e) / e))
+    return {
+        "right_semi_eigenvalue": right_value,
+        "left_semi_eigenvalue": left_value,
+        "observed_right_ratio": n_ratio,
+        "observed_left_ratio": o_ratio,
+        "right_holds": bool(n_ratio <= right_value + tolerance),
+        "left_holds": bool(o_ratio <= left_value + tolerance),
+    }
+
+
+def local_norm(local: LocalProtocol, lam: float, h: int | None = None) -> float:
+    """``‖Mx(λ)‖₂`` computed numerically (largest singular value)."""
+    return euclidean_norm(local_delay_matrix(local, lam, h))
+
+
+def verify_lemma_43(
+    local: LocalProtocol,
+    lam: float,
+    h: int | None = None,
+    *,
+    tolerance: float = 1e-9,
+) -> dict[str, float | bool]:
+    """Numerically verify Lemma 4.3 for one local protocol and one λ.
+
+    Checks three facts the proof chains together:
+
+    * ``ρ(Ox·Nx) = ρ(MxᵀMx)`` (Lemma 2.2 applied to the restrictions),
+    * ``‖Mx(λ)‖ ≤ λ·√(p_{L}(λ))·√(p_{R}(λ))`` with ``L``/``R`` the actual
+      left/right activation totals of this local protocol, and
+    * ``‖Mx(λ)‖ ≤ λ·√(p_⌈s/2⌉(λ))·√(p_⌊s/2⌋(λ))`` — the worst-case split.
+    """
+    h = 3 * local.k if h is None else h
+    mx = local_delay_matrix(local, lam, h)
+    n_matrix = reduced_right_matrix(local, lam, h)
+    o_matrix = reduced_left_matrix(local, lam, h)
+    norm_value = euclidean_norm(mx)
+    rho_reduced = spectral_radius(o_matrix @ n_matrix)
+    rho_gram = spectral_radius(mx.T @ mx)
+    own_split_bound = norm_bound_product(local.left_total, local.right_total, lam)
+    s = local.period
+    worst_split_bound = norm_bound_product((s + 1) // 2, s // 2, lam)
+    return {
+        "norm": norm_value,
+        "rho_gram": rho_gram,
+        "rho_reduced": rho_reduced,
+        "own_split_bound": own_split_bound,
+        "worst_split_bound": worst_split_bound,
+        "reduction_consistent": bool(abs(rho_reduced - rho_gram) <= tolerance * max(1.0, rho_gram)),
+        "own_split_holds": bool(norm_value <= own_split_bound + tolerance),
+        "worst_split_holds": bool(norm_value <= worst_split_bound + tolerance),
+    }

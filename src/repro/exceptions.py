@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ProtocolError",
+    "ValidationError",
+    "SimulationError",
+    "BoundComputationError",
+    "SeparatorError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is requested with invalid parameters.
+
+    Examples include a de Bruijn graph of degree zero, a butterfly of
+    dimension zero, or a grid with a non-positive side length.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a gossip protocol cannot be constructed as requested."""
+
+
+class ValidationError(ReproError):
+    """Raised when a protocol violates the model constraints.
+
+    The constraints come from Definition 3.1 of the paper: every round must
+    be a matching (no two active arcs sharing an endpoint) and, in the
+    full-duplex mode, active arcs must come in opposite pairs.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a dissemination simulation is mis-configured."""
+
+
+class BoundComputationError(ReproError):
+    """Raised when a lower-bound computation fails to converge.
+
+    This signals a genuine numerical failure (for instance a root bracket
+    that does not change sign); it is never used to report that a bound is
+    simply uninformative.
+    """
+
+
+class SeparatorError(ReproError):
+    """Raised when a separator construction is invalid for a topology."""

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper table/figure.
+
+* :mod:`repro.experiments.reference` — the values the paper prints (Fig. 4
+  fully; the cells of Figs. 5, 6 and 8 quoted in the running text).
+* :mod:`repro.experiments.fig4` — the general systolic bound table (Fig. 4).
+* :mod:`repro.experiments.fig5` — separator-refined systolic bounds for the
+  specific topologies (Fig. 5).
+* :mod:`repro.experiments.fig6` — non-systolic bounds for the specific
+  topologies (Fig. 6).
+* :mod:`repro.experiments.fig8` — full-duplex bounds (Fig. 8).
+* :mod:`repro.experiments.structure` — the delay-matrix structure
+  illustrations (Figs. 1–3 and 7).
+* :mod:`repro.experiments.sandwich` — certified lower bounds vs. measured
+  gossip times of constructive protocols on concrete instances.
+* :mod:`repro.experiments.runner` — text-table formatting and an
+  "everything" driver used by the CLI and by EXPERIMENTS.md.
+"""
+
+from repro.experiments.fig4 import fig4_table
+from repro.experiments.fig5 import fig5_table
+from repro.experiments.fig6 import fig6_table
+from repro.experiments.fig8 import fig8_table
+from repro.experiments.sandwich import sandwich_table
+from repro.experiments.structure import structure_report
+from repro.experiments.runner import format_table, run_all
+
+__all__ = [
+    "fig4_table",
+    "fig5_table",
+    "fig6_table",
+    "fig8_table",
+    "sandwich_table",
+    "structure_report",
+    "format_table",
+    "run_all",
+]

@@ -1,0 +1,53 @@
+"""Experiment FIG4 — the general systolic lower bound table (Fig. 4).
+
+For each systolic period ``s = 3 … 8`` and for the non-systolic limit, compute
+``λ*`` and ``e(s) = 1/log₂(1/λ*)`` from Corollary 4.4 and compare with the
+coefficients printed in Fig. 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.general_bound import general_lower_bound
+from repro.experiments.reference import FIG4_GENERAL_COEFFICIENTS
+
+__all__ = ["Fig4Row", "fig4_table", "DEFAULT_PERIODS"]
+
+DEFAULT_PERIODS: tuple[int | None, ...] = (3, 4, 5, 6, 7, 8, None)
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    """One column of Fig. 4: period, root, coefficient, paper value, deviation."""
+
+    period: int | None
+    lambda_star: float
+    coefficient: float
+    paper_coefficient: float | None
+
+    @property
+    def deviation(self) -> float | None:
+        if self.paper_coefficient is None:
+            return None
+        return abs(self.coefficient - self.paper_coefficient)
+
+    @property
+    def period_label(self) -> str:
+        return "∞" if self.period is None else str(self.period)
+
+
+def fig4_table(periods: tuple[int | None, ...] = DEFAULT_PERIODS) -> list[Fig4Row]:
+    """Regenerate Fig. 4 for the requested periods."""
+    rows: list[Fig4Row] = []
+    for s in periods:
+        bound = general_lower_bound(s)
+        rows.append(
+            Fig4Row(
+                period=s,
+                lambda_star=bound.lambda_star,
+                coefficient=bound.coefficient,
+                paper_coefficient=FIG4_GENERAL_COEFFICIENTS.get(s),
+            )
+        )
+    return rows

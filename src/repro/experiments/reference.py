@@ -1,0 +1,66 @@
+"""Reference values printed in the paper.
+
+Only Fig. 4 is reproduced in full in the source text available to us; the
+body text additionally quotes a handful of cells of Figs. 5, 6 and 8 and the
+relevant numbers from the upper-bound and broadcasting literature.  These are
+collected here so that tests and benchmarks can check the regenerated tables
+against every number the paper actually states.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG4_GENERAL_COEFFICIENTS",
+    "TEXT_QUOTED_HALF_DUPLEX_SYSTOLIC",
+    "TEXT_QUOTED_HALF_DUPLEX_NONSYSTOLIC",
+    "BROADCAST_DEGREE_COEFFICIENTS",
+    "LITERATURE_UPPER_BOUNDS",
+    "GOLDEN_COEFFICIENT",
+]
+
+#: Fig. 4 — the general directed/half-duplex coefficient ``e(s)``;
+#: key ``None`` is the ``s → ∞`` (non-systolic) limit.
+FIG4_GENERAL_COEFFICIENTS: dict[int | None, float] = {
+    3: 2.8808,
+    4: 1.8133,
+    5: 1.6502,
+    6: 1.5363,
+    7: 1.5021,
+    8: 1.4721,
+    None: 1.4404,
+}
+
+#: The classical lower bound for unrestricted half-duplex gossip (all graphs).
+GOLDEN_COEFFICIENT = 1.4404
+
+#: Half-duplex systolic cells of Fig. 5 quoted in the running text
+#: (Section 1): family → {(degree, period): coefficient}.
+TEXT_QUOTED_HALF_DUPLEX_SYSTOLIC: dict[str, dict[tuple[int, int], float]] = {
+    "WBF": {(2, 4): 2.0218},
+    "DB": {(2, 4): 1.8133},
+}
+
+#: Non-systolic cells of Fig. 6 quoted in the running text: family →
+#: {degree: coefficient}.
+TEXT_QUOTED_HALF_DUPLEX_NONSYSTOLIC: dict[str, dict[int, float]] = {
+    "WBF": {2: 1.9750},
+    "DB": {2: 1.5876},
+}
+
+#: Broadcasting coefficients ``c(d)`` of [22, 2] quoted in Section 1 — these
+#: are the values the general full-duplex systolic bound degenerates to.
+BROADCAST_DEGREE_COEFFICIENTS: dict[int, float] = {
+    2: 1.4404,
+    3: 1.1374,
+    4: 1.0562,
+}
+
+#: Upper bounds from the literature quoted in Section 1, as coefficients of
+#: ``log₂(n)`` (lower-order terms dropped).  Used only for context in the
+#: sandwich reports, never as a check on our own computations.
+LITERATURE_UPPER_BOUNDS: dict[str, float] = {
+    "WBF(2,D) half-duplex gossip [9]": 2.5,
+    "DB(2,D) half-duplex gossip [25]": 3.0,
+    "WBF(2,D) systolic gossip, small s [24]": 2.5,
+    "DB(2,D) systolic gossip, small s [24]": 2.0,
+}

@@ -1,0 +1,168 @@
+"""Formatting and driver for the experiment harness.
+
+The benchmarks and the CLI share these helpers: each experiment module
+returns plain dataclass rows; :func:`format_table` renders any sequence of
+row dataclasses (or dicts) as an aligned text table, and :func:`run_all`
+produces the complete report that EXPERIMENTS.md is derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.experiments.fig4 import fig4_table
+from repro.experiments.fig5 import fig5_table
+from repro.experiments.fig6 import fig6_table
+from repro.experiments.fig8 import fig8_table
+from repro.experiments.sandwich import sandwich_table
+from repro.experiments.structure import render_matrix, structure_report
+
+__all__ = ["format_table", "format_value", "run_all", "EXPERIMENT_NAMES"]
+
+EXPERIMENT_NAMES = ("fig4", "fig5", "fig6", "fig8", "structure", "sandwich")
+
+
+def format_value(value: object, *, digits: int = 4) -> str:
+    """Render one cell: floats to ``digits`` decimals, None as '-', rest via str."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _row_mapping(row: object) -> Mapping[str, object]:
+    if is_dataclass(row) and not isinstance(row, type):
+        data = asdict(row)
+        # Include computed properties that the dataclasses expose.
+        for name in dir(type(row)):
+            if name.startswith("_") or name in data:
+                continue
+            attribute = getattr(type(row), name, None)
+            if isinstance(attribute, property):
+                data[name] = getattr(row, name)
+        return data
+    if isinstance(row, Mapping):
+        return row
+    raise TypeError(f"cannot format row of type {type(row)!r}")
+
+
+def format_table(
+    rows: Sequence[object],
+    columns: Iterable[str] | None = None,
+    *,
+    digits: int = 4,
+) -> str:
+    """Aligned text table from dataclass or mapping rows."""
+    if not rows:
+        return "(empty table)"
+    mappings = [_row_mapping(row) for row in rows]
+    if columns is None:
+        columns = list(mappings[0].keys())
+    columns = list(columns)
+    rendered = [[format_value(m.get(c), digits=digits) for c in columns] for m in mappings]
+    widths = [
+        max(len(column), *(len(r[i]) for r in rendered)) for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def run_all(*, include_sandwich: bool = True) -> str:
+    """Run every experiment and return the combined text report."""
+    sections: list[str] = []
+
+    sections.append("== FIG4: general systolic lower bound ==")
+    sections.append(
+        format_table(
+            fig4_table(),
+            ["period_label", "lambda_star", "coefficient", "paper_coefficient", "deviation"],
+        )
+    )
+
+    sections.append("\n== FIG5: separator-refined systolic bounds (half-duplex) ==")
+    sections.append(
+        format_table(
+            fig5_table(),
+            [
+                "family",
+                "degree",
+                "period",
+                "coefficient",
+                "general_coefficient",
+                "improves_on_general",
+                "paper_coefficient",
+            ],
+        )
+    )
+
+    sections.append("\n== FIG6: non-systolic bounds (half-duplex) ==")
+    sections.append(
+        format_table(
+            fig6_table(),
+            [
+                "family",
+                "degree",
+                "coefficient",
+                "general_coefficient",
+                "diameter_coefficient",
+                "improves_on_general",
+                "paper_coefficient",
+            ],
+        )
+    )
+
+    sections.append("\n== FIG8: full-duplex bounds ==")
+    sections.append(
+        format_table(
+            fig8_table(),
+            [
+                "family",
+                "degree",
+                "period_label",
+                "coefficient",
+                "general_coefficient",
+                "improves_on_general",
+            ],
+        )
+    )
+
+    sections.append("\n== FIG1-3/7: delay-matrix structure ==")
+    report = structure_report()
+    sections.append(f"local protocol: {report.local_protocol.activation_word()}  λ = {report.lam}")
+    sections.append("Mx(λ):")
+    sections.append(render_matrix(report.mx))
+    sections.append("Nx(λ):")
+    sections.append(render_matrix(report.nx))
+    sections.append("Ox(λ):")
+    sections.append(render_matrix(report.ox))
+    sections.append(f"Lemma 4.2 check: {report.lemma42}")
+    sections.append(f"Lemma 4.3 check: {report.lemma43}")
+    sections.append(f"Lemma 6.1 check: {report.lemma61}")
+
+    if include_sandwich:
+        sections.append("\n== SANDWICH: certified lower bounds vs. measured gossip times ==")
+        sections.append(
+            format_table(
+                sandwich_table(),
+                [
+                    "graph",
+                    "n",
+                    "mode",
+                    "period",
+                    "certified_lower_bound",
+                    "analytic_lower_bound",
+                    "measured_gossip_time",
+                    "consistent",
+                ],
+            )
+        )
+
+    return "\n".join(sections)

@@ -1,0 +1,79 @@
+"""Gossip protocol model, validation and round-based simulation.
+
+This subpackage implements the communication model of Section 3 of the
+paper:
+
+* a **protocol** of length ``t`` is a sequence ``⟨A₁, …, A_t⟩`` of arc sets,
+  each a matching in the network digraph (Definition 3.1);
+* a protocol is **s-systolic** when ``A_i = A_{i+s}`` for every ``i``
+  (Definition 3.2), i.e. it is the periodic repetition of ``s`` base rounds;
+* three modes are supported: *directed* (arbitrary digraph), *half-duplex*
+  (symmetric digraph, one direction per activation) and *full-duplex*
+  (active arcs come in opposite pairs).
+
+The simulator executes protocols round by round on exact knowledge sets and
+reports gossip/broadcast completion times, which the experiments use to
+sandwich the paper's lower bounds with constructive upper bounds.
+"""
+
+from repro.gossip.model import (
+    Mode,
+    GossipProtocol,
+    SystolicSchedule,
+    Round,
+    make_round,
+)
+from repro.gossip.validation import (
+    validate_protocol,
+    validate_round,
+    check_matching,
+    check_full_duplex_pairing,
+)
+from repro.gossip.simulation import (
+    SimulationResult,
+    broadcast_time,
+    gossip_time,
+    is_complete_gossip,
+    simulate,
+    simulate_systolic,
+)
+from repro.gossip.builders import (
+    edge_coloring_rounds,
+    greedy_edge_coloring,
+    half_duplex_rounds_from_coloring,
+    full_duplex_rounds_from_coloring,
+    random_systolic_schedule,
+)
+from repro.gossip.analysis import (
+    activation_counts,
+    arrival_times,
+    local_activation_sequence,
+    protocol_summary,
+)
+
+__all__ = [
+    "Mode",
+    "Round",
+    "make_round",
+    "GossipProtocol",
+    "SystolicSchedule",
+    "validate_protocol",
+    "validate_round",
+    "check_matching",
+    "check_full_duplex_pairing",
+    "SimulationResult",
+    "simulate",
+    "simulate_systolic",
+    "gossip_time",
+    "broadcast_time",
+    "is_complete_gossip",
+    "greedy_edge_coloring",
+    "edge_coloring_rounds",
+    "half_duplex_rounds_from_coloring",
+    "full_duplex_rounds_from_coloring",
+    "random_systolic_schedule",
+    "activation_counts",
+    "arrival_times",
+    "local_activation_sequence",
+    "protocol_summary",
+]

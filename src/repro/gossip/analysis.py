@@ -1,0 +1,131 @@
+"""Protocol analysis helpers.
+
+These utilities inspect protocols from the point of view the lower-bound
+machinery takes: locally at a vertex, an s-systolic half-duplex protocol is a
+periodic word over {left activation, right activation, idle} (Section 4), and
+globally the interesting quantities are which arcs are exercised, how often,
+and when each item first arrives at each vertex.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.exceptions import SimulationError
+from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
+from repro.topologies.base import Arc, Digraph, Vertex
+
+__all__ = [
+    "LEFT",
+    "RIGHT",
+    "IDLE",
+    "BOTH",
+    "local_activation_sequence",
+    "activation_counts",
+    "arrival_times",
+    "protocol_summary",
+]
+
+#: Symbols of the local activation alphabet.
+LEFT = "L"  #: an incoming arc of the vertex is active (a *left* activation)
+RIGHT = "R"  #: an outgoing arc of the vertex is active (a *right* activation)
+IDLE = "-"  #: no arc incident to the vertex is active
+BOTH = "B"  #: both directions active in the same round (full-duplex only)
+
+
+def local_activation_sequence(
+    schedule_or_protocol: SystolicSchedule | GossipProtocol,
+    vertex: Vertex,
+    *,
+    length: int | None = None,
+) -> str:
+    """The local activation word of ``vertex``: one symbol per round.
+
+    For a systolic schedule the default length is one period; for an explicit
+    protocol it is the protocol length.  In the directed and half-duplex
+    modes each round contributes ``L``, ``R`` or ``-``; a full-duplex
+    activation (both directions in the same round) contributes ``B``.
+    """
+    if isinstance(schedule_or_protocol, SystolicSchedule):
+        schedule = schedule_or_protocol
+        graph = schedule.graph
+        rounds = length if length is not None else schedule.period
+        supplier = schedule.round
+    elif isinstance(schedule_or_protocol, GossipProtocol):
+        protocol = schedule_or_protocol
+        graph = protocol.graph
+        rounds = length if length is not None else protocol.length
+        supplier = protocol.round
+    else:
+        raise SimulationError(
+            f"expected GossipProtocol or SystolicSchedule, got {type(schedule_or_protocol)!r}"
+        )
+    if not graph.has_vertex(vertex):
+        raise SimulationError(f"unknown vertex {vertex!r}")
+
+    symbols: list[str] = []
+    for i in range(1, rounds + 1):
+        incoming = outgoing = False
+        for tail, head in supplier(i):
+            if head == vertex:
+                incoming = True
+            if tail == vertex:
+                outgoing = True
+        if incoming and outgoing:
+            symbols.append(BOTH)
+        elif incoming:
+            symbols.append(LEFT)
+        elif outgoing:
+            symbols.append(RIGHT)
+        else:
+            symbols.append(IDLE)
+    return "".join(symbols)
+
+
+def activation_counts(protocol: GossipProtocol) -> Counter:
+    """How many times each arc is activated over the whole protocol."""
+    counts: Counter = Counter()
+    for round_arcs in protocol.rounds:
+        counts.update(round_arcs)
+    return counts
+
+
+def arrival_times(protocol: GossipProtocol, source: Vertex) -> dict[Vertex, int]:
+    """First round after which each vertex knows the item of ``source``.
+
+    The source itself maps to 0.  Vertices the item never reaches are absent
+    from the result, so callers can detect incomplete broadcasts.
+    """
+    graph = protocol.graph
+    if not graph.has_vertex(source):
+        raise SimulationError(f"unknown source vertex {source!r}")
+    informed: dict[Vertex, int] = {source: 0}
+    for round_number, round_arcs in enumerate(protocol.rounds, start=1):
+        newly: list[Vertex] = []
+        for tail, head in round_arcs:
+            if tail in informed and head not in informed:
+                newly.append(head)
+        for head in newly:
+            informed[head] = round_number
+    return informed
+
+
+def protocol_summary(protocol: GossipProtocol) -> dict[str, object]:
+    """A compact structural summary used by reports and examples."""
+    counts = activation_counts(protocol)
+    total_activations = sum(counts.values())
+    rounds = protocol.length
+    n = protocol.graph.n
+    idle_slots = rounds * n - 2 * total_activations
+    return {
+        "name": protocol.name,
+        "graph": protocol.graph.name,
+        "n": n,
+        "mode": protocol.mode.value,
+        "length": rounds,
+        "minimal_period": protocol.minimal_period(),
+        "distinct_arcs_used": len(counts),
+        "total_activations": total_activations,
+        "mean_activations_per_round": (total_activations / rounds) if rounds else 0.0,
+        "idle_vertex_rounds": idle_slots,
+    }

@@ -1,0 +1,230 @@
+"""Protocol model: communication modes, rounds, protocols, systolic schedules.
+
+Terminology maps onto the paper as follows.
+
+* :class:`Mode` — directed, half-duplex or full-duplex (Section 3).
+* ``Round`` — one arc set ``A_i``; stored as an ordered tuple of arcs, with a
+  helper :func:`make_round` that normalises arbitrary iterables.
+* :class:`GossipProtocol` — a finite sequence ``⟨A₁, …, A_t⟩`` bound to a
+  digraph and a mode (Definition 3.1).  The class checks arc existence at
+  construction; matching/pairing constraints are checked by
+  :mod:`repro.gossip.validation` (kept separate so that deliberately broken
+  protocols can be built in tests).
+* :class:`SystolicSchedule` — the period ``⟨A₁, …, A_s⟩`` of an s-systolic
+  protocol (Definition 3.2); :meth:`SystolicSchedule.unroll` produces the
+  explicit protocol of any length.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ProtocolError
+from repro.topologies.base import Arc, Digraph, Vertex
+
+__all__ = ["Mode", "Round", "make_round", "GossipProtocol", "SystolicSchedule"]
+
+
+class Mode(enum.Enum):
+    """Communication mode of a protocol (Section 3 of the paper)."""
+
+    #: Arbitrary digraph; an activated arc carries information tail → head.
+    DIRECTED = "directed"
+    #: Symmetric digraph; each activation uses one of the two opposite arcs.
+    HALF_DUPLEX = "half-duplex"
+    #: Symmetric digraph; activations come in opposite pairs and carry
+    #: information both ways simultaneously.
+    FULL_DUPLEX = "full-duplex"
+
+
+#: One communication round: an ordered tuple of arcs (``A_i`` in the paper).
+Round = tuple[Arc, ...]
+
+
+def make_round(arcs: Iterable[Arc]) -> Round:
+    """Normalise an iterable of ``(tail, head)`` pairs into a round.
+
+    Duplicate arcs within a round are rejected: an arc is either active or
+    not, and silently deduplicating would hide caller bugs.
+    """
+    result: list[Arc] = []
+    seen: set[Arc] = set()
+    for arc in arcs:
+        tail, head = arc
+        normalized = (tail, head)
+        if normalized in seen:
+            raise ProtocolError(f"arc {normalized!r} listed twice in the same round")
+        seen.add(normalized)
+        result.append(normalized)
+    return tuple(result)
+
+
+class GossipProtocol:
+    """A gossip (or broadcast) protocol ``⟨A₁, …, A_t⟩`` on a digraph.
+
+    Parameters
+    ----------
+    graph:
+        The network digraph ``G = (V, A)``.
+    rounds:
+        The sequence of arc sets; ``rounds[i]`` is ``A_{i+1}`` of the paper
+        (Python indices are 0-based, the paper's rounds are 1-based).
+    mode:
+        Communication mode.  Half- and full-duplex protocols require a
+        symmetric digraph.
+    name:
+        Optional human-readable name.
+    """
+
+    __slots__ = ("graph", "rounds", "mode", "name")
+
+    def __init__(
+        self,
+        graph: Digraph,
+        rounds: Sequence[Iterable[Arc]],
+        mode: Mode = Mode.HALF_DUPLEX,
+        name: str = "protocol",
+    ) -> None:
+        if mode in (Mode.HALF_DUPLEX, Mode.FULL_DUPLEX) and not graph.is_symmetric():
+            raise ProtocolError(
+                f"{mode.value} protocols require a symmetric digraph, "
+                f"but {graph.name} has unmatched arcs"
+            )
+        normalized: list[Round] = []
+        for position, round_arcs in enumerate(rounds):
+            rnd = make_round(round_arcs)
+            for arc in rnd:
+                if not graph.has_arc(*arc):
+                    raise ProtocolError(
+                        f"round {position + 1} activates arc {arc!r} "
+                        f"which is not present in {graph.name}"
+                    )
+            normalized.append(rnd)
+        self.graph = graph
+        self.rounds: tuple[Round, ...] = tuple(normalized)
+        self.mode = mode
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Number of rounds ``t``."""
+        return len(self.rounds)
+
+    def round(self, i: int) -> Round:
+        """The arc set ``A_i`` (1-based, following the paper)."""
+        if not 1 <= i <= self.length:
+            raise ProtocolError(f"round index {i} out of range 1..{self.length}")
+        return self.rounds[i - 1]
+
+    def arcs_at(self, i: int) -> Round:
+        """Alias of :meth:`round` (1-based)."""
+        return self.round(i)
+
+    def active_arcs(self) -> set[Arc]:
+        """Union of all activated arcs."""
+        return {arc for rnd in self.rounds for arc in rnd}
+
+    def is_systolic(self, s: int) -> bool:
+        """Check Definition 3.2: ``A_i = A_{i+s}`` for every ``1 ≤ i ≤ t - s``.
+
+        Rounds are compared as *sets* of arcs; the order in which arcs are
+        listed within a round is irrelevant.
+        """
+        if s <= 0:
+            raise ProtocolError(f"systolic period must be positive, got {s}")
+        for i in range(self.length - s):
+            if set(self.rounds[i]) != set(self.rounds[i + s]):
+                return False
+        return True
+
+    def minimal_period(self) -> int:
+        """Smallest ``s`` for which the protocol is s-systolic (``t`` if aperiodic)."""
+        for s in range(1, self.length):
+            if self.is_systolic(s):
+                return s
+        return max(self.length, 1)
+
+    def truncate(self, t: int, name: str | None = None) -> "GossipProtocol":
+        """Protocol consisting of the first ``t`` rounds."""
+        if not 0 <= t <= self.length:
+            raise ProtocolError(f"cannot truncate to {t} rounds, protocol has {self.length}")
+        return GossipProtocol(
+            self.graph, self.rounds[:t], mode=self.mode, name=name or f"{self.name}[:{t}]"
+        )
+
+    def extend(self, extra_rounds: Sequence[Iterable[Arc]], name: str | None = None) -> "GossipProtocol":
+        """Protocol with additional rounds appended."""
+        return GossipProtocol(
+            self.graph,
+            list(self.rounds) + [make_round(r) for r in extra_rounds],
+            mode=self.mode,
+            name=name or self.name,
+        )
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GossipProtocol({self.name!r}, graph={self.graph.name!r}, "
+            f"t={self.length}, mode={self.mode.value})"
+        )
+
+
+class SystolicSchedule:
+    """The period of an s-systolic protocol: ``s`` rounds repeated cyclically.
+
+    The schedule owns the base rounds ``⟨A₁, …, A_s⟩``; :meth:`unroll`
+    instantiates the explicit protocol ``⟨A₁, …, A_t⟩`` with
+    ``A_i = A_{((i-1) mod s) + 1}``, which by construction satisfies
+    Definition 3.2.
+    """
+
+    __slots__ = ("graph", "base_rounds", "mode", "name")
+
+    def __init__(
+        self,
+        graph: Digraph,
+        base_rounds: Sequence[Iterable[Arc]],
+        mode: Mode = Mode.HALF_DUPLEX,
+        name: str = "systolic",
+    ) -> None:
+        if not base_rounds:
+            raise ProtocolError("a systolic schedule needs at least one base round")
+        # Constructing a protocol validates arc existence and symmetry needs.
+        prototype = GossipProtocol(graph, base_rounds, mode=mode, name=name)
+        self.graph = graph
+        self.base_rounds: tuple[Round, ...] = prototype.rounds
+        self.mode = mode
+        self.name = name
+
+    @property
+    def period(self) -> int:
+        """The systolic period ``s``."""
+        return len(self.base_rounds)
+
+    def round(self, i: int) -> Round:
+        """The arc set active at (1-based) round ``i`` of the unrolled protocol."""
+        if i < 1:
+            raise ProtocolError(f"round index must be >= 1, got {i}")
+        return self.base_rounds[(i - 1) % self.period]
+
+    def unroll(self, t: int, name: str | None = None) -> GossipProtocol:
+        """The explicit s-systolic protocol of length ``t``."""
+        if t < 0:
+            raise ProtocolError(f"protocol length must be non-negative, got {t}")
+        rounds = [self.round(i) for i in range(1, t + 1)]
+        return GossipProtocol(
+            self.graph,
+            rounds,
+            mode=self.mode,
+            name=name or f"{self.name}[t={t}]",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SystolicSchedule({self.name!r}, graph={self.graph.name!r}, "
+            f"s={self.period}, mode={self.mode.value})"
+        )

@@ -1,0 +1,232 @@
+"""Round-based dissemination simulator.
+
+Knowledge sets are represented exactly: vertex ``v``'s knowledge is a Python
+integer whose bit ``j`` is set iff ``v`` knows the item originating at the
+vertex with index ``j``.  Arbitrary-precision integers give O(n/64)-word set
+unions with no external dependencies and no approximation, and are fast
+enough for every instance used in the tests, examples and benchmarks
+(``n`` up to a few times ``10⁵``).
+
+The semantics follow Section 3 of the paper: if arc ``(x, y)`` is active at
+round ``i`` then at the beginning of round ``i + 1`` vertex ``y``
+additionally knows everything ``x`` knew at the beginning of round ``i``.
+All arcs of a round act simultaneously on the same snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
+from repro.topologies.base import Digraph, Vertex
+
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "simulate_systolic",
+    "gossip_time",
+    "broadcast_time",
+    "is_complete_gossip",
+    "knowledge_counts",
+]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of running a protocol.
+
+    Attributes
+    ----------
+    graph:
+        The digraph the protocol ran on.
+    rounds_executed:
+        How many rounds were actually executed.
+    completion_round:
+        The smallest number of rounds after which every tracked vertex knew
+        every tracked item, or ``None`` if the run ended before completion.
+    knowledge:
+        Final knowledge bitsets, indexed like ``graph.vertices``.
+    coverage_history:
+        ``coverage_history[i]`` is the total number of (vertex, item) pairs
+        known after ``i`` rounds; entry 0 is the initial ``n`` (each vertex
+        knows its own item).
+    """
+
+    graph: Digraph
+    rounds_executed: int
+    completion_round: int | None
+    knowledge: tuple[int, ...]
+    coverage_history: tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        """``True`` iff gossip completed within the executed rounds."""
+        return self.completion_round is not None
+
+    def known_items(self, v: Vertex) -> set[int]:
+        """Indices of the items known by vertex ``v`` at the end of the run."""
+        bits = self.knowledge[self.graph.index(v)]
+        return {j for j in range(self.graph.n) if bits >> j & 1}
+
+
+def _initial_knowledge(n: int) -> list[int]:
+    return [1 << j for j in range(n)]
+
+
+def _full_mask(n: int) -> int:
+    return (1 << n) - 1
+
+
+def _execute(
+    graph: Digraph,
+    round_supplier,
+    max_rounds: int,
+    *,
+    initial: list[int] | None = None,
+    target_mask: int | None = None,
+    track_history: bool = True,
+) -> SimulationResult:
+    """Shared execution loop for explicit protocols and systolic schedules."""
+    n = graph.n
+    knowledge = list(initial) if initial is not None else _initial_knowledge(n)
+    if len(knowledge) != n:
+        raise SimulationError(f"initial knowledge has {len(knowledge)} entries, expected {n}")
+    full = _full_mask(n) if target_mask is None else target_mask
+    index = graph.index
+
+    history: list[int] = []
+    if track_history:
+        history.append(sum(bin(k).count("1") for k in knowledge))
+
+    def is_done() -> bool:
+        return all(k & full == full for k in knowledge)
+
+    completion: int | None = 0 if is_done() else None
+    executed = 0
+    if completion is None:
+        for round_number in range(1, max_rounds + 1):
+            arcs = round_supplier(round_number)
+            if arcs:
+                snapshot = knowledge  # reads below use pre-round values
+                updates: dict[int, int] = {}
+                for tail, head in arcs:
+                    h = index(head)
+                    updates[h] = updates.get(h, snapshot[h]) | snapshot[index(tail)]
+                for h, bits in updates.items():
+                    knowledge[h] = bits
+            executed = round_number
+            if track_history:
+                history.append(sum(bin(k).count("1") for k in knowledge))
+            if is_done():
+                completion = round_number
+                break
+
+    return SimulationResult(
+        graph=graph,
+        rounds_executed=executed,
+        completion_round=completion,
+        knowledge=tuple(knowledge),
+        coverage_history=tuple(history),
+    )
+
+
+def simulate(protocol: GossipProtocol, *, track_history: bool = True) -> SimulationResult:
+    """Run an explicit protocol to its end (or until gossip completes earlier)."""
+    return _execute(
+        protocol.graph,
+        protocol.round,
+        protocol.length,
+        track_history=track_history,
+    )
+
+
+def simulate_systolic(
+    schedule: SystolicSchedule,
+    *,
+    max_rounds: int | None = None,
+    track_history: bool = False,
+) -> SimulationResult:
+    """Repeat a systolic schedule until gossip completes (or ``max_rounds`` elapse).
+
+    The default round budget is generous (``4·s·n``); a correct systolic
+    gossip schedule on a connected graph always terminates well within it,
+    and schedules that cannot complete (for example because they never
+    activate some arc direction) are reported as incomplete rather than
+    looping forever.
+    """
+    n = schedule.graph.n
+    budget = max_rounds if max_rounds is not None else max(4 * schedule.period * n, 16)
+    return _execute(
+        schedule.graph,
+        schedule.round,
+        budget,
+        track_history=track_history,
+    )
+
+
+def gossip_time(protocol_or_schedule, *, max_rounds: int | None = None) -> int:
+    """Number of rounds the protocol needs to complete gossip.
+
+    Raises :class:`SimulationError` if gossip does not complete, so callers
+    can rely on the returned value being a genuine completion time.
+    """
+    if isinstance(protocol_or_schedule, SystolicSchedule):
+        result = simulate_systolic(protocol_or_schedule, max_rounds=max_rounds)
+    elif isinstance(protocol_or_schedule, GossipProtocol):
+        result = simulate(protocol_or_schedule, track_history=False)
+    else:
+        raise SimulationError(
+            f"expected GossipProtocol or SystolicSchedule, got {type(protocol_or_schedule)!r}"
+        )
+    if result.completion_round is None:
+        raise SimulationError(
+            f"gossip did not complete within {result.rounds_executed} rounds"
+        )
+    return result.completion_round
+
+
+def broadcast_time(
+    protocol_or_schedule,
+    source: Vertex,
+    *,
+    max_rounds: int | None = None,
+) -> int:
+    """Rounds needed for the item of ``source`` to reach every vertex."""
+    if isinstance(protocol_or_schedule, SystolicSchedule):
+        schedule = protocol_or_schedule
+        graph = schedule.graph
+        supplier = schedule.round
+        budget = max_rounds if max_rounds is not None else max(4 * schedule.period * graph.n, 16)
+    elif isinstance(protocol_or_schedule, GossipProtocol):
+        protocol = protocol_or_schedule
+        graph = protocol.graph
+        supplier = protocol.round
+        budget = protocol.length if max_rounds is None else min(max_rounds, protocol.length)
+    else:
+        raise SimulationError(
+            f"expected GossipProtocol or SystolicSchedule, got {type(protocol_or_schedule)!r}"
+        )
+    source_bit = 1 << graph.index(source)
+    result = _execute(
+        graph,
+        supplier,
+        budget,
+        target_mask=source_bit,
+        track_history=False,
+    )
+    if result.completion_round is None:
+        raise SimulationError(
+            f"broadcast from {source!r} did not complete within {result.rounds_executed} rounds"
+        )
+    return result.completion_round
+
+
+def is_complete_gossip(protocol: GossipProtocol) -> bool:
+    """``True`` iff the protocol completes gossip within its own length."""
+    return simulate(protocol, track_history=False).complete
+
+
+def knowledge_counts(result: SimulationResult) -> list[int]:
+    """Number of items known by each vertex at the end of a run (index order)."""
+    return [bin(k).count("1") for k in result.knowledge]

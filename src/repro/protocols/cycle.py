@@ -1,0 +1,49 @@
+"""Systolic gossip on cycles.
+
+Cycles in the half-duplex mode are one of the cases solved optimally in [11].
+The schedule below is the straightforward systolisation: 2-colour the edges
+when ``n`` is even (3 colours when ``n`` is odd, since an odd cycle is not
+1-factorable) and cycle through the colour classes, each in both directions
+for the half-duplex mode.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import Mode, Round, SystolicSchedule, make_round
+from repro.topologies.classic import cycle_graph
+
+__all__ = ["cycle_systolic_schedule"]
+
+
+def _color_classes(n: int) -> list[list[tuple[int, int]]]:
+    """Partition the cycle's edges into 2 (even ``n``) or 3 (odd ``n``) matchings."""
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    if n % 2 == 0:
+        return [edges[0::2], edges[1::2]]
+    # Odd cycle: alternate the first n-1 edges between two classes and put the
+    # wrap-around edge (n-1, 0) alone in a third class.
+    first = [edges[i] for i in range(0, n - 1, 2)]
+    second = [edges[i] for i in range(1, n - 1, 2)]
+    third = [edges[n - 1]]
+    return [first, second, third]
+
+
+def cycle_systolic_schedule(n: int, mode: Mode = Mode.HALF_DUPLEX) -> SystolicSchedule:
+    """Edge-colouring systolic gossip schedule on the cycle ``C_n``."""
+    if n < 3:
+        raise ProtocolError(f"a cycle needs at least 3 vertices, got {n}")
+    graph = cycle_graph(n)
+    classes = _color_classes(n)
+
+    rounds: list[Round] = []
+    if mode is Mode.FULL_DUPLEX:
+        for edges in classes:
+            rounds.append(make_round([arc for u, v in edges for arc in ((u, v), (v, u))]))
+    elif mode is Mode.HALF_DUPLEX:
+        for edges in classes:
+            rounds.append(make_round([(u, v) for u, v in edges]))
+            rounds.append(make_round([(v, u) for u, v in edges]))
+    else:
+        raise ProtocolError("cycle schedules are defined for half- and full-duplex modes")
+    return SystolicSchedule(graph, rounds, mode=mode, name=f"C({n})-systolic-{mode.value}")

@@ -1,0 +1,55 @@
+"""Systolic gossip on two-dimensional grids.
+
+Grids were the original motivation for "traffic-light" scheduling ([20, 14])
+and received optimal systolic algorithms in [11].  The schedule here uses the
+natural 4-colouring of the grid edges — horizontal-even, horizontal-odd,
+vertical-even, vertical-odd — cycled per round (each colour in both
+directions in the half-duplex mode), giving a 4-systolic full-duplex or
+8-systolic half-duplex schedule that completes gossip in Θ(rows + cols)
+periods.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import Mode, Round, SystolicSchedule, make_round
+from repro.topologies.classic import grid_2d
+
+__all__ = ["grid_systolic_schedule"]
+
+
+def _grid_color_classes(rows: int, cols: int) -> list[list[tuple[tuple[int, int], tuple[int, int]]]]:
+    horizontal_even = []
+    horizontal_odd = []
+    vertical_even = []
+    vertical_odd = []
+    for r in range(rows):
+        for c in range(cols - 1):
+            edge = ((r, c), (r, c + 1))
+            (horizontal_even if c % 2 == 0 else horizontal_odd).append(edge)
+    for r in range(rows - 1):
+        for c in range(cols):
+            edge = ((r, c), (r + 1, c))
+            (vertical_even if r % 2 == 0 else vertical_odd).append(edge)
+    return [cls for cls in (horizontal_even, horizontal_odd, vertical_even, vertical_odd) if cls]
+
+
+def grid_systolic_schedule(rows: int, cols: int, mode: Mode = Mode.HALF_DUPLEX) -> SystolicSchedule:
+    """The 4-colour systolic gossip schedule on the ``rows × cols`` grid."""
+    if rows * cols < 2:
+        raise ProtocolError(f"a gossip instance needs at least 2 vertices, got {rows}x{cols}")
+    graph = grid_2d(rows, cols)
+    classes = _grid_color_classes(rows, cols)
+    rounds: list[Round] = []
+    if mode is Mode.FULL_DUPLEX:
+        for edges in classes:
+            rounds.append(make_round([arc for u, v in edges for arc in ((u, v), (v, u))]))
+    elif mode is Mode.HALF_DUPLEX:
+        for edges in classes:
+            rounds.append(make_round([(u, v) for u, v in edges]))
+            rounds.append(make_round([(v, u) for u, v in edges]))
+    else:
+        raise ProtocolError("grid schedules are defined for half- and full-duplex modes")
+    return SystolicSchedule(
+        graph, rounds, mode=mode, name=f"Grid({rows}x{cols})-systolic-{mode.value}"
+    )

@@ -1,0 +1,50 @@
+"""Systolic gossip on paths.
+
+Paths are the first network for which the cost of systolisation was pinned
+down ([8]: optimal systolic protocols exist but are strictly slower than
+unrestricted gossip in the half-duplex mode).  The construction here is the
+natural one: 2-colour the edges (odd/even position), then
+
+* full-duplex — alternate the two colour classes, a 2-systolic schedule;
+* half-duplex — cycle through the four rounds ⟨colour 0 →, colour 0 ←,
+  colour 1 →, colour 1 ←⟩, a 4-systolic schedule.
+
+Both complete gossip in Θ(n) rounds (the path's diameter already forces
+Ω(n)), and both are exercised by the sandwich benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import Mode, SystolicSchedule, make_round
+from repro.topologies.classic import path_graph
+
+__all__ = ["path_systolic_schedule"]
+
+
+def path_systolic_schedule(n: int, mode: Mode = Mode.HALF_DUPLEX) -> SystolicSchedule:
+    """The 2-colour systolic gossip schedule on the path ``P_n``."""
+    if n < 2:
+        raise ProtocolError(f"gossip on a path needs at least 2 vertices, got {n}")
+    graph = path_graph(n)
+    even_edges = [(i, i + 1) for i in range(0, n - 1, 2)]
+    odd_edges = [(i, i + 1) for i in range(1, n - 1, 2)]
+
+    if mode is Mode.FULL_DUPLEX:
+        rounds = []
+        for edges in (even_edges, odd_edges):
+            if edges:
+                rounds.append(
+                    make_round([arc for u, v in edges for arc in ((u, v), (v, u))])
+                )
+        return SystolicSchedule(graph, rounds, mode=mode, name=f"P({n})-systolic-full")
+
+    if mode is Mode.HALF_DUPLEX:
+        rounds = []
+        for edges in (even_edges, odd_edges):
+            if edges:
+                rounds.append(make_round([(u, v) for u, v in edges]))
+                rounds.append(make_round([(v, u) for u, v in edges]))
+        return SystolicSchedule(graph, rounds, mode=mode, name=f"P({n})-systolic-half")
+
+    raise ProtocolError("path schedules are defined for half- and full-duplex modes")

@@ -1,0 +1,37 @@
+"""Systolic gossip on complete d-ary trees.
+
+Trees are the second family for which [8] gives optimal systolic protocols.
+The schedule here is the generic edge-colouring systolisation: colour each
+vertex's child edges ``0 … d-1`` plus its parent edge, cycle through the
+colours (each in both directions in the half-duplex mode).  Gossip on a tree
+must route everything through the root, so the completion time is
+Θ(depth · period); the benchmarks use the measured value only as a correct
+upper bound.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProtocolError
+from repro.gossip.builders import greedy_edge_coloring, half_duplex_rounds_from_coloring
+from repro.gossip.builders import full_duplex_rounds_from_coloring
+from repro.gossip.model import Mode, SystolicSchedule
+from repro.topologies.classic import complete_dary_tree
+
+__all__ = ["tree_systolic_schedule"]
+
+
+def tree_systolic_schedule(d: int, height: int, mode: Mode = Mode.HALF_DUPLEX) -> SystolicSchedule:
+    """Edge-colouring systolic gossip schedule on the complete ``d``-ary tree."""
+    if height < 1:
+        raise ProtocolError(f"a gossip instance needs height >= 1, got {height}")
+    graph = complete_dary_tree(d, height)
+    coloring = greedy_edge_coloring(graph)
+    if mode is Mode.FULL_DUPLEX:
+        rounds = full_duplex_rounds_from_coloring(graph, coloring)
+    elif mode is Mode.HALF_DUPLEX:
+        rounds = half_duplex_rounds_from_coloring(graph, coloring)
+    else:
+        raise ProtocolError("tree schedules are defined for half- and full-duplex modes")
+    return SystolicSchedule(
+        graph, rounds, mode=mode, name=f"Tree(d={d},h={height})-systolic-{mode.value}"
+    )

@@ -1,0 +1,100 @@
+"""Interconnection-network topology generators.
+
+This subpackage provides the networks studied in the paper (Butterfly,
+Wrapped Butterfly, de Bruijn and Kautz digraphs/graphs, Section 3) together
+with the classic topologies used by the gossiping upper-bound literature the
+paper compares against (paths, cycles, complete graphs, hypercubes, grids,
+tori, complete d-ary trees and cube-connected cycles).
+
+Every generator returns a :class:`repro.topologies.base.Digraph`, a light
+immutable arc-list container with numpy-backed adjacency utilities.  The
+undirected graphs of the paper are represented as *symmetric digraphs*
+(each undirected edge contributes two opposite arcs), which is exactly the
+convention of Section 3 of the paper: half-duplex protocols activate one of
+the two opposite arcs per round, full-duplex protocols activate both.
+"""
+
+from repro.topologies.base import Digraph, symmetric_closure
+from repro.topologies.classic import (
+    complete_binary_tree,
+    complete_dary_tree,
+    complete_graph,
+    cube_connected_cycles,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    path_graph,
+    star_graph,
+    torus_2d,
+)
+from repro.topologies.butterfly import (
+    butterfly,
+    wrapped_butterfly,
+    wrapped_butterfly_digraph,
+)
+from repro.topologies.debruijn import de_bruijn, de_bruijn_digraph
+from repro.topologies.kautz import kautz, kautz_digraph
+from repro.topologies.properties import (
+    all_pairs_distances,
+    diameter,
+    distances_from,
+    in_degrees,
+    is_strongly_connected,
+    is_symmetric,
+    max_degree,
+    out_degrees,
+    set_distance,
+)
+from repro.topologies.separators import (
+    Separator,
+    butterfly_separator,
+    de_bruijn_separator,
+    kautz_separator,
+    measure_separator,
+    separator_for,
+    wrapped_butterfly_digraph_separator,
+    wrapped_butterfly_separator,
+)
+
+__all__ = [
+    "Digraph",
+    "symmetric_closure",
+    # classic
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "hypercube",
+    "grid_2d",
+    "torus_2d",
+    "complete_binary_tree",
+    "complete_dary_tree",
+    "cube_connected_cycles",
+    # hypercube-like families of the paper
+    "butterfly",
+    "wrapped_butterfly",
+    "wrapped_butterfly_digraph",
+    "de_bruijn",
+    "de_bruijn_digraph",
+    "kautz",
+    "kautz_digraph",
+    # properties
+    "distances_from",
+    "all_pairs_distances",
+    "diameter",
+    "set_distance",
+    "in_degrees",
+    "out_degrees",
+    "max_degree",
+    "is_symmetric",
+    "is_strongly_connected",
+    # separators
+    "Separator",
+    "separator_for",
+    "butterfly_separator",
+    "wrapped_butterfly_separator",
+    "wrapped_butterfly_digraph_separator",
+    "de_bruijn_separator",
+    "kautz_separator",
+    "measure_separator",
+]

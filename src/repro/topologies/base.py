@@ -1,0 +1,274 @@
+"""Digraph container used throughout the library.
+
+The paper models a network as a digraph ``G = (V, A)`` whose vertices are
+processors and whose arcs are communication links (Section 3).  Undirected
+networks are modelled as *symmetric* digraphs: each undirected edge ``{u, v}``
+is represented by the two opposite arcs ``(u, v)`` and ``(v, u)``.
+
+:class:`Digraph` is intentionally small.  It stores vertices as hashable
+labels (tuples, strings, ints), assigns each a dense integer index, and keeps
+the arc set both as a list of label pairs and as index arrays, which lets the
+simulation and linear-algebra layers work with contiguous numpy arrays while
+the topology and protocol layers keep readable structured labels such as
+``("0110", 3)`` for a butterfly vertex.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+
+__all__ = ["Vertex", "Arc", "Digraph", "symmetric_closure"]
+
+Vertex = Hashable
+Arc = tuple[Vertex, Vertex]
+
+
+class Digraph:
+    """An immutable digraph with labelled vertices and integer indexing.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of distinct hashable vertex labels.  Order is preserved and
+        defines the integer index of each vertex.
+    arcs:
+        Iterable of ``(tail, head)`` label pairs.  Self-loops and duplicate
+        arcs are rejected because neither occurs in the networks of the paper
+        and both would break the matching semantics of gossip rounds.
+    name:
+        Optional human-readable name (used in reports and benchmarks).
+    """
+
+    __slots__ = ("_vertices", "_index", "_arcs", "_arc_set", "_out", "_in", "name")
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        arcs: Iterable[Arc],
+        name: str = "digraph",
+    ) -> None:
+        self._vertices: tuple[Vertex, ...] = tuple(vertices)
+        if len(set(self._vertices)) != len(self._vertices):
+            raise TopologyError("duplicate vertex labels are not allowed")
+        if not self._vertices:
+            raise TopologyError("a digraph needs at least one vertex")
+        self._index: dict[Vertex, int] = {v: i for i, v in enumerate(self._vertices)}
+
+        arc_list: list[Arc] = []
+        arc_set: set[Arc] = set()
+        out: dict[Vertex, list[Vertex]] = {v: [] for v in self._vertices}
+        inc: dict[Vertex, list[Vertex]] = {v: [] for v in self._vertices}
+        for tail, head in arcs:
+            if tail not in self._index or head not in self._index:
+                raise TopologyError(f"arc ({tail!r}, {head!r}) references unknown vertex")
+            if tail == head:
+                raise TopologyError(f"self-loop on vertex {tail!r} is not allowed")
+            arc = (tail, head)
+            if arc in arc_set:
+                raise TopologyError(f"duplicate arc {arc!r}")
+            arc_set.add(arc)
+            arc_list.append(arc)
+            out[tail].append(head)
+            inc[head].append(tail)
+        self._arcs: tuple[Arc, ...] = tuple(arc_list)
+        self._arc_set: frozenset[Arc] = frozenset(arc_set)
+        self._out: dict[Vertex, tuple[Vertex, ...]] = {v: tuple(ns) for v, ns in out.items()}
+        self._in: dict[Vertex, tuple[Vertex, ...]] = {v: tuple(ns) for v, ns in inc.items()}
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> tuple[Vertex, ...]:
+        """Vertex labels in index order."""
+        return self._vertices
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        """Arcs as ``(tail, head)`` label pairs, in insertion order."""
+        return self._arcs
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (``n`` in the paper)."""
+        return len(self._vertices)
+
+    @property
+    def m(self) -> int:
+        """Number of arcs."""
+        return len(self._arcs)
+
+    def index(self, v: Vertex) -> int:
+        """Integer index of vertex ``v``."""
+        try:
+            return self._index[v]
+        except KeyError as exc:
+            raise TopologyError(f"unknown vertex {v!r}") from exc
+
+    def vertex(self, i: int) -> Vertex:
+        """Vertex label at index ``i``."""
+        return self._vertices[i]
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._index
+
+    def has_arc(self, tail: Vertex, head: Vertex) -> bool:
+        return (tail, head) in self._arc_set
+
+    def out_neighbors(self, v: Vertex) -> tuple[Vertex, ...]:
+        """Heads of arcs leaving ``v``."""
+        try:
+            return self._out[v]
+        except KeyError as exc:
+            raise TopologyError(f"unknown vertex {v!r}") from exc
+
+    def in_neighbors(self, v: Vertex) -> tuple[Vertex, ...]:
+        """Tails of arcs entering ``v``."""
+        try:
+            return self._in[v]
+        except KeyError as exc:
+            raise TopologyError(f"unknown vertex {v!r}") from exc
+
+    def out_degree(self, v: Vertex) -> int:
+        return len(self.out_neighbors(v))
+
+    def in_degree(self, v: Vertex) -> int:
+        return len(self.in_neighbors(v))
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, Hashable) and v in self._index
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Digraph({self.name!r}, n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return set(self._vertices) == set(other._vertices) and self._arc_set == other._arc_set
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._vertices), self._arc_set))
+
+    # ------------------------------------------------------------------ #
+    # index-based views (used by the simulation and linear-algebra layers)
+    # ------------------------------------------------------------------ #
+    def arc_index_array(self) -> np.ndarray:
+        """Arcs as an ``(m, 2)`` int array of (tail index, head index) rows."""
+        if self.m == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(
+            [(self._index[t], self._index[h]) for t, h in self._arcs], dtype=np.int64
+        )
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency matrix ``A[i, j] = 1`` iff arc i -> j exists."""
+        mat = np.zeros((self.n, self.n), dtype=bool)
+        for t, h in self._arcs:
+            mat[self._index[t], self._index[h]] = True
+        return mat
+
+    # ------------------------------------------------------------------ #
+    # structural predicates and transforms
+    # ------------------------------------------------------------------ #
+    def is_symmetric(self) -> bool:
+        """``True`` iff every arc has its opposite (i.e. the digraph models an undirected graph)."""
+        return all((h, t) in self._arc_set for t, h in self._arcs)
+
+    def reverse(self) -> "Digraph":
+        """Digraph with every arc reversed."""
+        return Digraph(self._vertices, [(h, t) for t, h in self._arcs], name=f"{self.name}^R")
+
+    def undirected_edges(self) -> list[frozenset[Vertex]]:
+        """Distinct unordered endpoint pairs spanned by the arc set."""
+        seen: set[frozenset[Vertex]] = set()
+        edges: list[frozenset[Vertex]] = []
+        for t, h in self._arcs:
+            e = frozenset((t, h))
+            if e not in seen:
+                seen.add(e)
+                edges.append(e)
+        return edges
+
+    def subgraph(self, vertices: Sequence[Vertex], name: str | None = None) -> "Digraph":
+        """Induced sub-digraph on ``vertices``."""
+        keep = set(vertices)
+        missing = keep - set(self._vertices)
+        if missing:
+            raise TopologyError(f"vertices not in digraph: {sorted(map(repr, missing))[:5]}")
+        arcs = [(t, h) for t, h in self._arcs if t in keep and h in keep]
+        return Digraph(list(vertices), arcs, name=name or f"{self.name}[sub]")
+
+    def relabel(self, mapping: dict[Vertex, Vertex], name: str | None = None) -> "Digraph":
+        """Digraph with vertices renamed through ``mapping`` (must be injective)."""
+        new_labels = [mapping.get(v, v) for v in self._vertices]
+        if len(set(new_labels)) != len(new_labels):
+            raise TopologyError("relabelling is not injective")
+        m = {v: mapping.get(v, v) for v in self._vertices}
+        return Digraph(
+            new_labels,
+            [(m[t], m[h]) for t, h in self._arcs],
+            name=name or self.name,
+        )
+
+    def to_networkx(self) -> Any:
+        """Export as a :class:`networkx.DiGraph` (for ad-hoc analysis and plotting)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(self._vertices)
+        g.add_edges_from(self._arcs)
+        return g
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Vertex, Vertex]],
+        name: str = "graph",
+        vertices: Iterable[Vertex] | None = None,
+    ) -> "Digraph":
+        """Build a *symmetric* digraph from undirected edges.
+
+        Each edge ``(u, v)`` contributes both arcs ``(u, v)`` and ``(v, u)``.
+        """
+        edge_list = list(edges)
+        if vertices is None:
+            seen: dict[Vertex, None] = {}
+            for u, v in edge_list:
+                seen.setdefault(u)
+                seen.setdefault(v)
+            vertices = list(seen)
+        arcs: list[Arc] = []
+        present: set[Arc] = set()
+        for u, v in edge_list:
+            for arc in ((u, v), (v, u)):
+                if arc not in present:
+                    present.add(arc)
+                    arcs.append(arc)
+        return cls(vertices, arcs, name=name)
+
+
+def symmetric_closure(g: Digraph, name: str | None = None) -> Digraph:
+    """Add, for every arc, the opposite arc (if missing).
+
+    This is the operation the paper uses to derive undirected networks such
+    as ``WBF(d, D)`` from their directed counterparts ``WBF→(d, D)``.
+    """
+    arcs: list[Arc] = list(g.arcs)
+    present = set(arcs)
+    for t, h in g.arcs:
+        if (h, t) not in present:
+            present.add((h, t))
+            arcs.append((h, t))
+    return Digraph(g.vertices, arcs, name=name or f"{g.name}*")

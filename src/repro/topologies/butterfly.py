@@ -1,0 +1,101 @@
+"""Butterfly and Wrapped Butterfly networks (Section 3 of the paper).
+
+Vertex labels follow the paper with one cosmetic change: the alphabet is
+``{0, …, d-1}`` instead of ``{1, …, d}``.  Strings are stored as Python
+strings of digits (most significant position ``x_{D-1}`` first), so the
+vertex ``(x_{D-1} … x_0, l)`` appears as ``("x_{D-1}…x_0", l)``.
+
+* ``BF(d, D)`` — *Butterfly digraph*.  Vertices ``(x, l)`` with
+  ``x ∈ {0..d-1}^D`` and level ``l ∈ {0..D}``.  A vertex at level ``l > 0``
+  is joined *with pairwise opposite arcs* to the ``d`` vertices obtained by
+  replacing position ``l-1`` of ``x`` and decreasing the level; the digraph
+  is therefore symmetric by construction.
+* ``WBF→(d, D)`` — *Wrapped Butterfly digraph*.  Vertices ``(x, l)`` with
+  levels ``l ∈ {0..D-1}``; level ``l > 0`` points down to level ``l-1``
+  (position ``l-1`` replaced), level ``0`` wraps around to level ``D-1``
+  (position ``D-1`` replaced).
+* ``WBF(d, D)`` — the undirected Wrapped Butterfly, i.e. the symmetric
+  closure of ``WBF→(d, D)``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import TopologyError
+from repro.topologies.base import Digraph, symmetric_closure
+
+__all__ = ["butterfly", "wrapped_butterfly_digraph", "wrapped_butterfly", "ALPHABET"]
+
+#: Digit alphabet used for string labels; limits the degree to ``d <= 10``,
+#: which comfortably covers the paper's evaluations (``d = 2, 3``).
+ALPHABET = "0123456789"
+
+
+def _check_degree_dimension(d: int, dim: int) -> None:
+    if d < 2:
+        raise TopologyError(f"degree d must be at least 2, got {d}")
+    if d > len(ALPHABET):
+        raise TopologyError(f"degree d must be at most {len(ALPHABET)}, got {d}")
+    if dim < 1:
+        raise TopologyError(f"dimension D must be at least 1, got {dim}")
+
+
+def _strings(d: int, dim: int) -> list[str]:
+    """All strings of length ``dim`` over the first ``d`` digits, x_{D-1} first."""
+    return ["".join(s) for s in product(ALPHABET[:d], repeat=dim)]
+
+
+def _replace(x: str, position: int, symbol: str) -> str:
+    """Replace position ``position`` of ``x`` (counting from the right, i.e. x_0 is last)."""
+    dim = len(x)
+    string_index = dim - 1 - position
+    return x[:string_index] + symbol + x[string_index + 1 :]
+
+
+def butterfly(d: int, dim: int) -> Digraph:
+    """Butterfly digraph ``BF(d, D)`` on ``(D+1)·d^D`` vertices.
+
+    The result is symmetric (every arc has its opposite) because the paper
+    defines the level-``l`` to level-``l-1`` connections with pairwise
+    opposite arcs.
+    """
+    _check_degree_dimension(d, dim)
+    strings = _strings(d, dim)
+    vertices = [(x, level) for x in strings for level in range(dim + 1)]
+    arcs: list[tuple[tuple[str, int], tuple[str, int]]] = []
+    for x in strings:
+        for level in range(1, dim + 1):
+            for symbol in ALPHABET[:d]:
+                target = (_replace(x, level - 1, symbol), level - 1)
+                arcs.append(((x, level), target))
+                arcs.append((target, (x, level)))
+    # The construction enumerates each arc exactly once in each direction:
+    # downward arcs are generated from their level-l endpoint only, and the
+    # upward copies from the same endpoint, so duplicates cannot occur.
+    return Digraph(vertices, arcs, name=f"BF({d},{dim})")
+
+
+def wrapped_butterfly_digraph(d: int, dim: int) -> Digraph:
+    """Wrapped Butterfly digraph ``WBF→(d, D)`` on ``D·d^D`` vertices."""
+    _check_degree_dimension(d, dim)
+    if dim < 2:
+        raise TopologyError(
+            f"the wrapped butterfly needs dimension D >= 2 to avoid parallel arcs, got {dim}"
+        )
+    strings = _strings(d, dim)
+    vertices = [(x, level) for x in strings for level in range(dim)]
+    arcs = []
+    for x in strings:
+        for level in range(1, dim):
+            for symbol in ALPHABET[:d]:
+                arcs.append(((x, level), (_replace(x, level - 1, symbol), level - 1)))
+        for symbol in ALPHABET[:d]:
+            arcs.append(((x, 0), (_replace(x, dim - 1, symbol), dim - 1)))
+    return Digraph(vertices, arcs, name=f"WBF->({d},{dim})")
+
+
+def wrapped_butterfly(d: int, dim: int) -> Digraph:
+    """Undirected Wrapped Butterfly ``WBF(d, D)`` (symmetric closure of ``WBF→``)."""
+    g = symmetric_closure(wrapped_butterfly_digraph(d, dim), name=f"WBF({d},{dim})")
+    return g

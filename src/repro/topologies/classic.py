@@ -1,0 +1,161 @@
+"""Classic interconnection topologies.
+
+These networks are not the main subject of the paper, but they are the
+substrates of the upper-bound literature the paper cites (systolic gossip on
+paths and complete d-ary trees [8], cycles and two-dimensional grids [11,20],
+complete graphs [4,17,15,26]), and they give the test and example layers a
+supply of small, well-understood instances.
+
+All generators return symmetric :class:`~repro.topologies.base.Digraph`
+objects (two opposite arcs per undirected edge), matching the half-/full-
+duplex conventions of Section 3.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import TopologyError
+from repro.topologies.base import Digraph, Vertex
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "hypercube",
+    "grid_2d",
+    "torus_2d",
+    "complete_binary_tree",
+    "complete_dary_tree",
+    "cube_connected_cycles",
+]
+
+
+def _require_positive(value: int, what: str) -> None:
+    if value <= 0:
+        raise TopologyError(f"{what} must be positive, got {value}")
+
+
+def path_graph(n: int) -> Digraph:
+    """Path ``P_n`` on vertices ``0 .. n-1``."""
+    _require_positive(n, "number of vertices")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Digraph.from_edges(edges, name=f"P({n})", vertices=range(n))
+
+
+def cycle_graph(n: int) -> Digraph:
+    """Cycle ``C_n`` on vertices ``0 .. n-1``."""
+    if n < 3:
+        raise TopologyError(f"a cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Digraph.from_edges(edges, name=f"C({n})", vertices=range(n))
+
+
+def complete_graph(n: int) -> Digraph:
+    """Complete graph ``K_n``; gossip on it attains the 1.4404·log₂(n) bound."""
+    _require_positive(n, "number of vertices")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Digraph.from_edges(edges, name=f"K({n})", vertices=range(n))
+
+
+def star_graph(n: int) -> Digraph:
+    """Star ``K_{1,n-1}`` with centre ``0`` and leaves ``1 .. n-1``."""
+    if n < 2:
+        raise TopologyError(f"a star needs at least 2 vertices, got {n}")
+    edges = [(0, i) for i in range(1, n)]
+    return Digraph.from_edges(edges, name=f"Star({n})", vertices=range(n))
+
+
+def hypercube(dim: int) -> Digraph:
+    """Binary hypercube ``Q_dim`` on ``2^dim`` vertices labelled by bit strings."""
+    _require_positive(dim, "hypercube dimension")
+    vertices = ["".join(bits) for bits in product("01", repeat=dim)]
+    edges = []
+    for v in vertices:
+        for i in range(dim):
+            flipped = v[:i] + ("1" if v[i] == "0" else "0") + v[i + 1 :]
+            if v < flipped:
+                edges.append((v, flipped))
+    return Digraph.from_edges(edges, name=f"Q({dim})", vertices=vertices)
+
+
+def grid_2d(rows: int, cols: int) -> Digraph:
+    """Two-dimensional grid with ``rows × cols`` vertices labelled ``(r, c)``."""
+    _require_positive(rows, "rows")
+    _require_positive(cols, "cols")
+    vertices = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+    return Digraph.from_edges(edges, name=f"Grid({rows}x{cols})", vertices=vertices)
+
+
+def torus_2d(rows: int, cols: int) -> Digraph:
+    """Two-dimensional torus (wrap-around grid) with ``rows × cols`` vertices."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("a torus needs at least 3 rows and 3 columns to avoid duplicate edges")
+    vertices = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append(((r, c), ((r + 1) % rows, c)))
+            edges.append(((r, c), (r, (c + 1) % cols)))
+    return Digraph.from_edges(edges, name=f"Torus({rows}x{cols})", vertices=vertices)
+
+
+def complete_dary_tree(d: int, height: int) -> Digraph:
+    """Complete ``d``-ary tree of the given ``height`` (root at level 0).
+
+    Vertices are labelled by tuples of child indices from the root; the root
+    is the empty tuple ``()``.  Systolic gossip on these trees is one of the
+    exactly-solved cases of [8] that motivates the paper.
+    """
+    _require_positive(d, "arity")
+    if height < 0:
+        raise TopologyError(f"height must be non-negative, got {height}")
+    vertices: list[Vertex] = [()]
+    edges: list[tuple[Vertex, Vertex]] = []
+    frontier: list[tuple[int, ...]] = [()]
+    for _ in range(height):
+        next_frontier: list[tuple[int, ...]] = []
+        for node in frontier:
+            for child_index in range(d):
+                child = node + (child_index,)
+                vertices.append(child)
+                edges.append((node, child))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return Digraph.from_edges(edges, name=f"Tree(d={d},h={height})", vertices=vertices)
+
+
+def complete_binary_tree(height: int) -> Digraph:
+    """Complete binary tree of the given height (convenience wrapper)."""
+    return complete_dary_tree(2, height)
+
+
+def cube_connected_cycles(dim: int) -> Digraph:
+    """Cube-connected cycles ``CCC(dim)`` on ``dim · 2^dim`` vertices.
+
+    Each hypercube vertex is replaced by a cycle of ``dim`` vertices; vertex
+    ``(x, i)`` is adjacent to its cycle neighbours ``(x, i±1 mod dim)`` and to
+    ``(x ⊕ e_i, i)`` across dimension ``i``.
+    """
+    if dim < 3:
+        raise TopologyError(f"CCC needs dimension >= 3, got {dim}")
+    strings = ["".join(bits) for bits in product("01", repeat=dim)]
+    vertices = [(x, i) for x in strings for i in range(dim)]
+    edges = set()
+    for x in strings:
+        for i in range(dim):
+            j = (i + 1) % dim
+            edges.add(frozenset(((x, i), (x, j))))
+            flipped = x[:i] + ("1" if x[i] == "0" else "0") + x[i + 1 :]
+            edges.add(frozenset(((x, i), (flipped, i))))
+    edge_list = [tuple(sorted(e, key=repr)) for e in edges]
+    edge_list.sort(key=repr)
+    return Digraph.from_edges(edge_list, name=f"CCC({dim})", vertices=vertices)

@@ -1,0 +1,58 @@
+"""de Bruijn networks (Section 3 of the paper).
+
+``DB→(d, D)`` has as vertices all strings of length ``D`` over ``{0..d-1}``
+(the paper uses ``{1..d}``; the relabelling is immaterial).  The vertex
+``x_{D-1} x_{D-2} … x_0`` has an arc toward the ``d`` vertices
+``x_{D-2} … x_0 α`` — a left shift followed by appending ``α``.
+
+The textbook definition produces ``d`` self-loops, one at each constant
+string ``aa…a`` (shifting a constant string and appending the same symbol
+returns the same vertex).  Self-loops are useless for dissemination — an arc
+whose endpoints coincide can never carry new information and can never be
+part of a matching — so, as is customary in the gossiping literature, the
+generators below omit them.  The vertex and arc counts therefore are
+``d^D`` and ``d^{D+1} - d`` for the digraph.
+
+``DB(d, D)`` is the undirected de Bruijn graph: the symmetric closure of
+``DB→(d, D)`` with parallel edges merged (strings of period two such as
+``0101…`` produce shift-arcs in both directions; the closure keeps a single
+pair of opposite arcs for them).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import TopologyError
+from repro.topologies.base import Digraph, symmetric_closure
+from repro.topologies.butterfly import ALPHABET
+
+__all__ = ["de_bruijn_digraph", "de_bruijn"]
+
+
+def _check(d: int, dim: int) -> None:
+    if d < 2:
+        raise TopologyError(f"degree d must be at least 2, got {d}")
+    if d > len(ALPHABET):
+        raise TopologyError(f"degree d must be at most {len(ALPHABET)}, got {d}")
+    if dim < 1:
+        raise TopologyError(f"dimension D must be at least 1, got {dim}")
+
+
+def de_bruijn_digraph(d: int, dim: int) -> Digraph:
+    """de Bruijn digraph ``DB→(d, D)`` on ``d^D`` vertices (self-loops omitted)."""
+    _check(d, dim)
+    vertices = ["".join(s) for s in product(ALPHABET[:d], repeat=dim)]
+    arcs = []
+    for x in vertices:
+        shifted = x[1:]
+        for symbol in ALPHABET[:d]:
+            target = shifted + symbol
+            if target != x:
+                arcs.append((x, target))
+    return Digraph(vertices, arcs, name=f"DB->({d},{dim})")
+
+
+def de_bruijn(d: int, dim: int) -> Digraph:
+    """Undirected de Bruijn graph ``DB(d, D)`` (symmetric closure, loops omitted)."""
+    return symmetric_closure(de_bruijn_digraph(d, dim), name=f"DB({d},{dim})")

@@ -1,0 +1,54 @@
+"""Kautz networks (Section 3 of the paper).
+
+``K→(d, D)`` has as vertices all strings ``x_{D-1} … x_0`` of length ``D``
+over an alphabet of ``d + 1`` symbols in which adjacent symbols differ
+(``x_j ≠ x_{j+1}``).  The vertex ``x_{D-1} … x_0`` has an arc toward the
+``d`` vertices ``x_{D-2} … x_0 α`` with ``α ≠ x_0``.  There are
+``(d+1)·d^{D-1}`` vertices and every vertex has out-degree (and in-degree)
+exactly ``d``; the digraph has no self-loops by construction.
+
+``K(d, D)`` is the undirected Kautz graph, the symmetric closure of
+``K→(d, D)`` with parallel edges merged.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topologies.base import Digraph, symmetric_closure
+from repro.topologies.butterfly import ALPHABET
+
+__all__ = ["kautz_digraph", "kautz"]
+
+
+def _kautz_strings(d: int, dim: int) -> list[str]:
+    """All length-``dim`` strings over ``d + 1`` symbols with no equal adjacent symbols."""
+    alphabet = ALPHABET[: d + 1]
+    strings: list[str] = list(alphabet)
+    for _ in range(dim - 1):
+        strings = [s + c for s in strings for c in alphabet if c != s[-1]]
+    return strings
+
+
+def kautz_digraph(d: int, dim: int) -> Digraph:
+    """Kautz digraph ``K→(d, D)`` on ``(d+1)·d^{D-1}`` vertices."""
+    if d < 2:
+        raise TopologyError(f"degree d must be at least 2, got {d}")
+    if d + 1 > len(ALPHABET):
+        raise TopologyError(f"degree d must be at most {len(ALPHABET) - 1}, got {d}")
+    if dim < 1:
+        raise TopologyError(f"dimension D must be at least 1, got {dim}")
+    vertices = _kautz_strings(d, dim)
+    alphabet = ALPHABET[: d + 1]
+    arcs = []
+    for x in vertices:
+        shifted = x[1:]
+        last = x[-1]
+        for symbol in alphabet:
+            if symbol != last:
+                arcs.append((x, shifted + symbol))
+    return Digraph(vertices, arcs, name=f"K->({d},{dim})")
+
+
+def kautz(d: int, dim: int) -> Digraph:
+    """Undirected Kautz graph ``K(d, D)`` (symmetric closure of ``K→(d, D)``)."""
+    return symmetric_closure(kautz_digraph(d, dim), name=f"K({d},{dim})")

@@ -1,0 +1,320 @@
+"""⟨α, ℓ⟩-separators (Definition 3.5) and the constructions of Lemma 3.1.
+
+A family of digraphs has an ⟨α, ℓ⟩-separator when every member ``G`` of
+``n`` vertices contains two vertex sets ``V₁, V₂`` with
+
+* ``min_{x ∈ V₁, y ∈ V₂} dist_G(x, y) = ℓ·log₂(n) − o(log n)`` and
+* ``min(|V₁|, |V₂|) ≥ 2^{α·ℓ·log₂(n) − o(log n)}``.
+
+The constants ``(α, ℓ)`` are properties of the *family*; Lemma 3.1 gives
+them for Butterfly, Wrapped Butterfly (directed and undirected), de Bruijn
+and Kautz networks, together with explicit set constructions.  This module
+implements those constructions on concrete instances and exposes both the
+asymptotic constants (consumed by :mod:`repro.core.separator_bound`) and a
+measurement routine that checks the constructions on generated graphs.
+
+Alphabet convention: symbols are ``0 … d-1`` (``0 … d`` for Kautz); the
+paper's "``x ≤ d/2``" low half corresponds to symbol indices ``< ⌊d/2⌋``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SeparatorError
+from repro.topologies.base import Digraph, Vertex
+from repro.topologies.butterfly import (
+    butterfly,
+    wrapped_butterfly,
+    wrapped_butterfly_digraph,
+)
+from repro.topologies.debruijn import de_bruijn_digraph
+from repro.topologies.kautz import kautz_digraph
+from repro.topologies.properties import set_distance
+
+__all__ = [
+    "Separator",
+    "SeparatorMeasurement",
+    "FAMILY_PARAMETERS",
+    "family_parameters",
+    "butterfly_separator",
+    "wrapped_butterfly_digraph_separator",
+    "wrapped_butterfly_separator",
+    "de_bruijn_separator",
+    "kautz_separator",
+    "separator_for",
+    "measure_separator",
+]
+
+
+@dataclass(frozen=True)
+class Separator:
+    """A concrete separator instance: two far-apart vertex sets plus family constants.
+
+    Attributes
+    ----------
+    family:
+        Name of the digraph family (``"BF"``, ``"WBF_digraph"``, ``"WBF"``,
+        ``"DB"``, ``"K"``).
+    alpha, ell:
+        The asymptotic constants ``α`` and ``ℓ`` of Definition 3.5 for the
+        family (they depend on the degree ``d`` but not on the dimension).
+    v1, v2:
+        The two vertex sets of the construction, as tuples of vertex labels.
+    """
+
+    family: str
+    alpha: float
+    ell: float
+    v1: tuple[Vertex, ...]
+    v2: tuple[Vertex, ...]
+
+    def min_size(self) -> int:
+        """``min(|V₁|, |V₂|)``."""
+        return min(len(self.v1), len(self.v2))
+
+    def __post_init__(self) -> None:
+        if not self.v1 or not self.v2:
+            raise SeparatorError("separator sets must be non-empty")
+        if set(self.v1) & set(self.v2):
+            raise SeparatorError("separator sets must be disjoint")
+
+
+@dataclass(frozen=True)
+class SeparatorMeasurement:
+    """Measured quantities of a separator applied to a concrete digraph."""
+
+    separator: Separator
+    n: int
+    distance: int
+    min_size: int
+    #: The asymptotic prediction ``ℓ·log₂(n)`` for the distance.
+    predicted_distance: float = field(init=False)
+    #: The asymptotic prediction ``α·ℓ·log₂(n)`` for ``log₂ min(|V₁|, |V₂|)``.
+    predicted_log_size: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicted_distance", self.separator.ell * math.log2(self.n))
+        object.__setattr__(
+            self,
+            "predicted_log_size",
+            self.separator.alpha * self.separator.ell * math.log2(self.n),
+        )
+
+    @property
+    def log_min_size(self) -> float:
+        return math.log2(self.min_size)
+
+
+#: ``(α, ℓ)`` as functions of the degree ``d`` for each family of Lemma 3.1.
+FAMILY_PARAMETERS = {
+    "BF": lambda d: (math.log2(d) / 2.0, 2.0 / math.log2(d)),
+    "WBF_digraph": lambda d: (math.log2(d) / 2.0, 2.0 / math.log2(d)),
+    "WBF": lambda d: (2.0 * math.log2(d) / 3.0, 3.0 / (2.0 * math.log2(d))),
+    "DB": lambda d: (math.log2(d), 1.0 / math.log2(d)),
+    "K": lambda d: (math.log2(d), 1.0 / math.log2(d)),
+}
+
+
+def family_parameters(family: str, d: int) -> tuple[float, float]:
+    """Return ``(α, ℓ)`` for one of the families of Lemma 3.1."""
+    if family not in FAMILY_PARAMETERS:
+        raise SeparatorError(
+            f"unknown family {family!r}; expected one of {sorted(FAMILY_PARAMETERS)}"
+        )
+    if d < 2:
+        raise SeparatorError(f"degree must be at least 2, got {d}")
+    return FAMILY_PARAMETERS[family](d)
+
+
+def _low_symbols(d: int) -> set[str]:
+    """Symbols in the paper's low half ``x ≤ d/2`` (indices ``< ⌊d/2⌋``)."""
+    return {str(i) for i in range(d // 2)}
+
+
+def _split_by_top_symbol(strings: list[str], d: int) -> tuple[list[str], list[str]]:
+    low = _low_symbols(d)
+    lows = [x for x in strings if x[0] in low]
+    highs = [x for x in strings if x[0] not in low]
+    return lows, highs
+
+
+def butterfly_separator(d: int, dim: int) -> Separator:
+    """Lemma 3.1(1): level-0 vertices split by the most significant symbol."""
+    g = butterfly(d, dim)
+    strings = sorted({x for (x, _level) in g.vertices})
+    lows, highs = _split_by_top_symbol(strings, d)
+    alpha, ell = family_parameters("BF", d)
+    return Separator(
+        family="BF",
+        alpha=alpha,
+        ell=ell,
+        v1=tuple((x, 0) for x in lows),
+        v2=tuple((x, 0) for x in highs),
+    )
+
+
+def wrapped_butterfly_digraph_separator(d: int, dim: int) -> Separator:
+    """Lemma 3.1(2): level ``D-1`` low strings against level ``0`` high strings."""
+    g = wrapped_butterfly_digraph(d, dim)
+    strings = sorted({x for (x, _level) in g.vertices})
+    lows, highs = _split_by_top_symbol(strings, d)
+    alpha, ell = family_parameters("WBF_digraph", d)
+    return Separator(
+        family="WBF_digraph",
+        alpha=alpha,
+        ell=ell,
+        v1=tuple((x, dim - 1) for x in lows),
+        v2=tuple((x, 0) for x in highs),
+    )
+
+
+def _constrained_positions(dim: int) -> list[int]:
+    """The positions constrained by the string separator: ``{0..h-1} ∪ {h·j}``.
+
+    The paper's text constrains the symbols at positions ``h·j`` (``h = √D``)
+    only.  For shift-based networks (de Bruijn, Kautz) that alone does not
+    force a large distance — a single shift can already move a string from
+    one side to the other when the shift amount is not a multiple of ``h`` —
+    so we additionally constrain the first ``h`` positions.  With this
+    standard strengthening, any overlap of length ``D - k`` between a
+    constrained-low and a constrained-high string is impossible for every
+    ``k ≤ D - h``, giving distance at least ``D - h + 1 = D - O(√D)``, while
+    the number of constrained positions stays ``O(√D)`` so the set sizes are
+    still ``2^{log n - o(log n)}``.  The asymptotic ⟨α, ℓ⟩ constants of
+    Lemma 3.1 are unchanged.
+    """
+    h = max(1, math.isqrt(dim))
+    positions = set(range(0, min(h, dim)))
+    positions.update(range(0, dim, h))
+    return sorted(positions)
+
+
+def _constrained_strings(d: int, dim: int, strings: list[str], low: bool) -> list[str]:
+    """Strings whose symbols at the constrained positions all lie in one half.
+
+    Positions count from the right (``x_0`` is the last character), matching
+    the paper's indexing.
+    """
+    low_set = _low_symbols(d)
+    positions = _constrained_positions(dim)
+
+    def keep(x: str) -> bool:
+        for pos in positions:
+            symbol = x[dim - 1 - pos]
+            in_low = symbol in low_set
+            if in_low != low:
+                return False
+        return True
+
+    return [x for x in strings if keep(x)]
+
+
+def wrapped_butterfly_separator(d: int, dim: int) -> Separator:
+    """Lemma 3.1(3): strings constrained every ``√D`` positions, levels 0 and ``⌊D/2⌋``."""
+    g = wrapped_butterfly(d, dim)
+    strings = sorted({x for (x, _level) in g.vertices})
+    x1 = _constrained_strings(d, dim, strings, low=True)
+    x2 = _constrained_strings(d, dim, strings, low=False)
+    if not x1 or not x2:
+        raise SeparatorError(
+            f"WBF({d},{dim}) separator construction produced an empty side; "
+            "the dimension is too small for the √D-spaced constraint"
+        )
+    alpha, ell = family_parameters("WBF", d)
+    return Separator(
+        family="WBF",
+        alpha=alpha,
+        ell=ell,
+        v1=tuple((x, 0) for x in x1),
+        v2=tuple((x, dim // 2) for x in x2),
+    )
+
+
+def de_bruijn_separator(d: int, dim: int) -> Separator:
+    """Lemma 3.1(4): de Bruijn strings constrained every ``√D`` positions."""
+    g = de_bruijn_digraph(d, dim)
+    strings = sorted(g.vertices)
+    x1 = _constrained_strings(d, dim, strings, low=True)
+    x2 = _constrained_strings(d, dim, strings, low=False)
+    if not x1 or not x2:
+        raise SeparatorError(f"DB({d},{dim}) separator construction produced an empty side")
+    alpha, ell = family_parameters("DB", d)
+    return Separator(family="DB", alpha=alpha, ell=ell, v1=tuple(x1), v2=tuple(x2))
+
+
+def kautz_separator(d: int, dim: int) -> Separator:
+    """Lemma 3.1(5): Kautz strings constrained every ``√D`` positions.
+
+    The Kautz alphabet has ``d + 1`` symbols and adjacent symbols must
+    differ, so the strengthened constraint set (which contains consecutive
+    positions) is only usable when both the low and the high symbol class
+    contain at least two symbols, i.e. ``d ≥ 3``.  For ``d = 2`` we fall back
+    to the paper's literal spaced positions with the extreme symbol classes
+    ``{0}`` / ``{2}``; the ⟨α, ℓ⟩ constants are unaffected.
+    """
+    g = kautz_digraph(d, dim)
+    strings = sorted(g.vertices)
+    alphabet_size = d + 1
+    low_set = {str(i) for i in range(alphabet_size // 2)}
+    high_set = {str(i) for i in range(alphabet_size // 2, alphabet_size)}
+    if len(low_set) >= 2 and len(high_set) >= 2:
+        positions = _constrained_positions(dim)
+    else:
+        h = max(1, math.isqrt(dim))
+        positions = list(range(0, dim, h))
+        low_set = {"0"}
+        high_set = {str(d)}
+
+    def keep(x: str, allowed: set[str]) -> bool:
+        return all(x[dim - 1 - pos] in allowed for pos in positions)
+
+    x1 = [x for x in strings if keep(x, low_set)]
+    x2 = [x for x in strings if keep(x, high_set)]
+    if not x1 or not x2:
+        raise SeparatorError(f"K({d},{dim}) separator construction produced an empty side")
+    alpha, ell = family_parameters("K", d)
+    return Separator(family="K", alpha=alpha, ell=ell, v1=tuple(x1), v2=tuple(x2))
+
+
+_CONSTRUCTORS = {
+    "BF": butterfly_separator,
+    "WBF_digraph": wrapped_butterfly_digraph_separator,
+    "WBF": wrapped_butterfly_separator,
+    "DB": de_bruijn_separator,
+    "K": kautz_separator,
+}
+
+
+def separator_for(family: str, d: int, dim: int) -> Separator:
+    """Construct the Lemma 3.1 separator for one of the supported families."""
+    try:
+        constructor = _CONSTRUCTORS[family]
+    except KeyError as exc:
+        raise SeparatorError(
+            f"unknown family {family!r}; expected one of {sorted(_CONSTRUCTORS)}"
+        ) from exc
+    return constructor(d, dim)
+
+
+def measure_separator(g: Digraph, separator: Separator) -> SeparatorMeasurement:
+    """Measure the actual distance and set sizes of a separator on a digraph.
+
+    The measured distance is ``min_{x ∈ V₁, y ∈ V₂} dist_G(x, y)``, exactly
+    the quantity Definition 3.5 constrains; callers compare it against the
+    asymptotic prediction ``ℓ·log₂ n`` (the ``o(log n)`` slack means equality
+    is not expected on small instances, only the right growth).
+    """
+    for v in separator.v1 + separator.v2:
+        if not g.has_vertex(v):
+            raise SeparatorError(f"separator vertex {v!r} not present in digraph {g.name}")
+    distance = set_distance(g, separator.v1, separator.v2)
+    if distance < 0:
+        raise SeparatorError("separator sets are not connected by any dipath")
+    return SeparatorMeasurement(
+        separator=separator,
+        n=g.n,
+        distance=distance,
+        min_size=separator.min_size(),
+    )

@@ -1,0 +1,282 @@
+"""Tests for the local-protocol machinery (repro.core.local_protocol, .reduction).
+
+These tests confront the closed-form matrices of Section 4 (Figs. 1–3) with
+each other and with direct numerical linear algebra:
+
+* ``Nx(λ) = M′ P`` and ``Ox(λ) = (Mxᵀ)′ Q`` — the reductions really are the
+  restriction matrices the paper describes;
+* Lemma 4.2 — the explicit semi-eigenvector satisfies its inequalities;
+* Lemma 4.3 — ``‖Mx(λ)‖`` never exceeds ``λ·√p·√p`` and the reduced spectral
+  radius equals the Gram spectral radius (Lemma 2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.local_protocol import LocalProtocol
+from repro.core.norms import euclidean_norm, spectral_radius
+from repro.core.polynomials import norm_bound_product, p_polynomial
+from repro.core.reduction import (
+    geometric_column,
+    local_delay_matrix,
+    local_norm,
+    reduced_left_matrix,
+    reduced_right_matrix,
+    restriction_matrices,
+    semi_eigenvector,
+    verify_lemma_42,
+    verify_lemma_43,
+)
+from repro.exceptions import BoundComputationError, ProtocolError
+
+SAMPLE_PROTOCOLS = [
+    LocalProtocol((1,), (1,)),
+    LocalProtocol((2,), (2,)),
+    LocalProtocol((3,), (1,)),
+    LocalProtocol((2, 1), (1, 2)),
+    LocalProtocol((1, 1, 2), (2, 1, 1)),
+    LocalProtocol((1, 3), (2, 2)),
+]
+
+SAMPLE_LAMBDAS = [0.3, 0.618, 0.786]
+
+
+class TestLocalProtocol:
+    def test_basic_quantities(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        assert local.k == 2
+        assert local.period == 6
+        assert local.left_total == 3
+        assert local.right_total == 3
+
+    def test_periodic_extension(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        assert local.left(0) == 2
+        assert local.left(2) == 2
+        assert local.left(5) == 1
+        assert local.right(3) == 2
+
+    def test_negative_index_rejected(self):
+        local = LocalProtocol((1,), (1,))
+        with pytest.raises(ProtocolError):
+            local.left(-1)
+
+    def test_delay_same_block_is_one(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        assert local.delay(0, 0) == 1
+        assert local.delay(3, 3) == 1
+
+    def test_delay_next_block(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        # d_{0,1} = 1 + r_0 + l_1 = 1 + 1 + 1 = 3
+        assert local.delay(0, 1) == 3
+        # d_{1,2} = 1 + r_1 + l_2 = 1 + 2 + 2 = 5
+        assert local.delay(1, 2) == 5
+
+    def test_delay_requires_ordered_indices(self):
+        local = LocalProtocol((1,), (1,))
+        with pytest.raises(ProtocolError):
+            local.delay(2, 1)
+
+    def test_activation_word_roundtrip(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        word = local.activation_word()
+        assert word == "LLRLRR"
+        assert LocalProtocol.from_activation_word(word) == local
+
+    def test_from_activation_word_rotation(self):
+        # A rotation of the same periodic word parses to the same protocol.
+        assert LocalProtocol.from_activation_word("RLLR") == LocalProtocol((2,), (2,))
+
+    def test_from_activation_word_lowercase(self):
+        assert LocalProtocol.from_activation_word("lr") == LocalProtocol((1,), (1,))
+
+    def test_from_activation_word_invalid_symbols(self):
+        with pytest.raises(ProtocolError):
+            LocalProtocol.from_activation_word("LRX")
+
+    def test_from_activation_word_single_symbol_rejected(self):
+        with pytest.raises(ProtocolError):
+            LocalProtocol.from_activation_word("LLLL")
+        with pytest.raises(ProtocolError):
+            LocalProtocol.from_activation_word("")
+
+    def test_balanced(self):
+        local = LocalProtocol.balanced(5)
+        assert local.left_blocks == (3,)
+        assert local.right_blocks == (2,)
+        with pytest.raises(ProtocolError):
+            LocalProtocol.balanced(1)
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            LocalProtocol((1, 2), (1,))
+        with pytest.raises(ProtocolError):
+            LocalProtocol((), ())
+        with pytest.raises(ProtocolError):
+            LocalProtocol((0,), (1,))
+
+
+class TestMatrixConstruction:
+    def test_geometric_column(self):
+        np.testing.assert_allclose(geometric_column(3, 0.5), [1.0, 0.5, 0.25])
+        assert geometric_column(0, 0.5).shape == (0,)
+        with pytest.raises(BoundComputationError):
+            geometric_column(-1, 0.5)
+
+    def test_matrix_shapes(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        h = 4
+        mx = local_delay_matrix(local, 0.5, h)
+        rows = sum(local.left(i) for i in range(h))
+        cols = sum(local.right(j) for j in range(h))
+        assert mx.shape == (rows, cols)
+        assert reduced_right_matrix(local, 0.5, h).shape == (h, h)
+        assert reduced_left_matrix(local, 0.5, h).shape == (h, h)
+        assert semi_eigenvector(local, 0.5, h).shape == (h,)
+
+    def test_h_below_k_rejected(self):
+        local = LocalProtocol((1, 1), (1, 1))
+        with pytest.raises(BoundComputationError):
+            local_delay_matrix(local, 0.5, 1)
+
+    def test_band_structure_of_reduced_matrices(self):
+        local = LocalProtocol((1, 2), (2, 1))
+        h, k = 5, local.k
+        n_matrix = reduced_right_matrix(local, 0.4, h)
+        o_matrix = reduced_left_matrix(local, 0.4, h)
+        for i in range(h):
+            for j in range(h):
+                if j < i or j >= i + k:
+                    assert n_matrix[i, j] == 0.0
+                else:
+                    assert n_matrix[i, j] > 0.0
+                if j <= i - k or j > i:
+                    assert o_matrix[i, j] == 0.0
+                else:
+                    assert o_matrix[i, j] > 0.0
+
+    def test_single_block_matrix_entries(self):
+        # k = 1, l = r = 1: the local matrix is upper-triangular-banded with
+        # entries λ^{d(i,j)} where consecutive blocks are 2 rounds apart.
+        local = LocalProtocol((1,), (1,))
+        lam = 0.5
+        mx = local_delay_matrix(local, lam, 3)
+        expected = np.array(
+            [[lam, 0.0, 0.0], [0.0, lam, 0.0], [0.0, 0.0, lam]]
+        )
+        np.testing.assert_allclose(mx, expected)
+
+    def test_block_entry_formula(self):
+        local = LocalProtocol((2,), (2,))
+        lam = 0.7
+        mx = local_delay_matrix(local, lam, 2)
+        # Block B_{0,0}: λ^{d_{0,0}} * outer((1, λ), (1, λ)) with d = 1.
+        expected_block = lam * np.outer([1, lam], [1, lam])
+        np.testing.assert_allclose(mx[:2, :2], expected_block)
+        # Block B_{1,0} must be zero (j < i).
+        np.testing.assert_allclose(mx[2:, :2], 0.0)
+
+    @pytest.mark.parametrize("local", SAMPLE_PROTOCOLS, ids=lambda p: p.activation_word())
+    @pytest.mark.parametrize("lam", SAMPLE_LAMBDAS)
+    def test_reductions_equal_restriction_products(self, local, lam):
+        """Nx = M' P and Ox = (Mxᵀ)' Q, as in the construction of Section 4."""
+        h = 3 * local.k
+        mx = local_delay_matrix(local, lam, h)
+        p_matrix, q_matrix = restriction_matrices(local, lam, h)
+
+        left_sizes = [local.left(i) for i in range(h)]
+        right_sizes = [local.right(j) for j in range(h)]
+        row_offsets = np.concatenate(([0], np.cumsum(left_sizes)))[:-1]
+        col_offsets = np.concatenate(([0], np.cumsum(right_sizes)))[:-1]
+
+        m_prime = mx[row_offsets, :]          # first row of every left block
+        n_closed = reduced_right_matrix(local, lam, h)
+        np.testing.assert_allclose(m_prime @ p_matrix, n_closed, atol=1e-12)
+
+        mt_prime = mx.T[col_offsets, :]       # first column of every right block
+        o_closed = reduced_left_matrix(local, lam, h)
+        np.testing.assert_allclose(mt_prime @ q_matrix, o_closed, atol=1e-12)
+
+
+class TestLemma42:
+    @pytest.mark.parametrize("local", SAMPLE_PROTOCOLS, ids=lambda p: p.activation_word())
+    @pytest.mark.parametrize("lam", SAMPLE_LAMBDAS)
+    def test_semi_eigenvector_inequalities(self, local, lam):
+        report = verify_lemma_42(local, lam)
+        assert report["right_holds"]
+        assert report["left_holds"]
+
+    def test_semi_eigenvalues_match_formula(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        lam = 0.6
+        report = verify_lemma_42(local, lam)
+        assert report["right_semi_eigenvalue"] == pytest.approx(
+            lam * p_polynomial(local.right_total, lam)
+        )
+        assert report["left_semi_eigenvalue"] == pytest.approx(
+            lam * p_polynomial(local.left_total, lam)
+        )
+
+    def test_interior_components_are_tight(self):
+        # For components away from the matrix boundary the semi-eigenvector
+        # relation holds with equality (the paper's computation).
+        local = LocalProtocol((1, 2), (2, 1))
+        lam = 0.55
+        h = 6
+        e = semi_eigenvector(local, lam, h)
+        n_matrix = reduced_right_matrix(local, lam, h)
+        value = lam * p_polynomial(local.right_total, lam)
+        image = n_matrix @ e
+        for i in range(h - local.k):
+            assert image[i] == pytest.approx(value * e[i], rel=1e-10)
+
+
+class TestLemma43:
+    @pytest.mark.parametrize("local", SAMPLE_PROTOCOLS, ids=lambda p: p.activation_word())
+    @pytest.mark.parametrize("lam", SAMPLE_LAMBDAS)
+    def test_norm_bound_holds(self, local, lam):
+        report = verify_lemma_43(local, lam)
+        assert report["own_split_holds"]
+        assert report["worst_split_holds"]
+        assert report["reduction_consistent"]
+
+    @pytest.mark.parametrize("local", SAMPLE_PROTOCOLS, ids=lambda p: p.activation_word())
+    def test_reduced_radius_equals_gram_radius(self, local):
+        lam = 0.618
+        h = 3 * local.k
+        mx = local_delay_matrix(local, lam, h)
+        reduced = reduced_left_matrix(local, lam, h) @ reduced_right_matrix(local, lam, h)
+        assert spectral_radius(reduced) == pytest.approx(
+            spectral_radius(mx.T @ mx), rel=1e-8
+        )
+
+    def test_local_norm_matches_direct_svd(self):
+        local = LocalProtocol((2, 1), (1, 2))
+        lam = 0.5
+        assert local_norm(local, lam) == pytest.approx(
+            euclidean_norm(local_delay_matrix(local, lam)), rel=1e-12
+        )
+
+    def test_norm_grows_with_more_blocks_but_stays_bounded(self):
+        local = LocalProtocol.balanced(6)
+        lam = 0.6369  # ≈ root for s = 6
+        bound = norm_bound_product(3, 3, lam)
+        previous = 0.0
+        for h in (1, 2, 4, 8):
+            value = local_norm(local, lam, h)
+            assert value >= previous - 1e-12
+            assert value <= bound + 1e-9
+            previous = value
+
+    def test_balanced_protocol_nearly_attains_bound(self):
+        # The balanced single-block protocol is the extremal case: with many
+        # blocks its norm approaches λ √p_⌈s/2⌉ √p_⌊s/2⌋.
+        s = 4
+        lam = 0.682
+        bound = norm_bound_product(2, 2, lam)
+        value = local_norm(LocalProtocol.balanced(s), lam, 30)
+        assert value == pytest.approx(bound, rel=0.02)
+        assert value <= bound + 1e-9

@@ -1,0 +1,159 @@
+"""Tests for the matrix-norm toolkit (repro.core.norms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.norms import (
+    block_diagonal_norm,
+    euclidean_norm,
+    power_iteration_norm,
+    semi_eigenvalue_bound,
+    spectral_radius,
+    verify_semi_eigenvector,
+)
+from repro.exceptions import BoundComputationError
+
+
+class TestEuclideanNorm:
+    def test_identity(self):
+        assert euclidean_norm(np.eye(4)) == pytest.approx(1.0)
+
+    def test_diagonal(self):
+        assert euclidean_norm(np.diag([3.0, -5.0, 1.0])) == pytest.approx(5.0)
+
+    def test_rank_one(self):
+        u = np.array([[1.0], [2.0]])
+        v = np.array([[3.0, 4.0]])
+        assert euclidean_norm(u @ v) == pytest.approx(np.sqrt(5.0) * 5.0)
+
+    def test_rectangular(self):
+        m = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        assert euclidean_norm(m) == pytest.approx(2.0)
+
+    def test_empty_matrix(self):
+        assert euclidean_norm(np.zeros((0, 3))) == 0.0
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(BoundComputationError):
+            euclidean_norm(np.zeros(3))
+
+    def test_submultiplicative(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4, 4))
+        b = rng.random((4, 4))
+        assert euclidean_norm(a @ b) <= euclidean_norm(a) * euclidean_norm(b) + 1e-12
+
+    def test_monotone_in_entries(self):
+        # Norm property 4: M <= N entrywise (non-negative) implies ||M|| <= ||N||.
+        rng = np.random.default_rng(1)
+        m = rng.random((5, 5))
+        n = m + rng.random((5, 5))
+        assert euclidean_norm(m) <= euclidean_norm(n) + 1e-12
+
+
+class TestSpectralRadius:
+    def test_diagonal(self):
+        assert spectral_radius(np.diag([0.5, -2.0])) == pytest.approx(2.0)
+
+    def test_nilpotent(self):
+        m = np.array([[0.0, 1.0], [0.0, 0.0]])
+        assert spectral_radius(m) == pytest.approx(0.0)
+
+    def test_norm_dominates_spectral_radius(self):
+        rng = np.random.default_rng(2)
+        m = rng.random((6, 6))
+        assert spectral_radius(m) <= euclidean_norm(m) + 1e-10
+
+    def test_norm_is_sqrt_of_gram_radius(self):
+        rng = np.random.default_rng(3)
+        m = rng.random((5, 7))
+        assert euclidean_norm(m) == pytest.approx(np.sqrt(spectral_radius(m.T @ m)))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(BoundComputationError):
+            spectral_radius(np.zeros((2, 3)))
+
+
+class TestSemiEigenvectors:
+    def test_verify_true_eigenvector(self):
+        m = np.array([[2.0, 0.0], [0.0, 1.0]])
+        assert verify_semi_eigenvector(m, [1.0, 1.0], 2.0)
+
+    def test_verify_failure(self):
+        m = np.array([[2.0, 0.0], [0.0, 1.0]])
+        assert not verify_semi_eigenvector(m, [1.0, 1.0], 1.5)
+
+    def test_null_vector_rejected(self):
+        with pytest.raises(BoundComputationError):
+            verify_semi_eigenvector(np.eye(2), [0.0, 0.0], 1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(BoundComputationError):
+            verify_semi_eigenvector(np.eye(2), [1.0, 1.0, 1.0], 1.0)
+
+    def test_lemma21_bound_dominates_spectral_radius(self):
+        # For a non-negative matrix and a positive vector, the componentwise
+        # ratio max (Mx)_i / x_i upper-bounds ρ(M) — Lemma 2.1.
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            m = rng.random((5, 5))
+            x = rng.random(5) + 0.1
+            bound = semi_eigenvalue_bound(m, x)
+            assert spectral_radius(m) <= bound + 1e-10
+
+    def test_lemma21_exact_for_positive_eigenvector(self):
+        # For a positive matrix, the Perron eigenvector makes Lemma 2.1 tight.
+        m = np.array([[2.0, 1.0], [1.0, 2.0]])
+        eigenvalues, eigenvectors = np.linalg.eig(m)
+        index = int(np.argmax(eigenvalues))
+        perron = np.abs(eigenvectors[:, index])
+        assert semi_eigenvalue_bound(m, perron) == pytest.approx(3.0, abs=1e-9)
+
+    def test_lemma21_requires_nonnegative_matrix(self):
+        with pytest.raises(BoundComputationError):
+            semi_eigenvalue_bound(np.array([[-1.0, 0.0], [0.0, 1.0]]), [1.0, 1.0])
+
+    def test_lemma21_requires_positive_vector(self):
+        with pytest.raises(BoundComputationError):
+            semi_eigenvalue_bound(np.eye(2), [1.0, 0.0])
+
+    def test_lemma21_requires_square(self):
+        with pytest.raises(BoundComputationError):
+            semi_eigenvalue_bound(np.zeros((2, 3)), [1.0, 1.0, 1.0])
+
+
+class TestBlockAndPowerIteration:
+    def test_block_diagonal_norm_is_max(self):
+        blocks = [np.diag([1.0]), np.diag([4.0, 2.0]), np.diag([3.0])]
+        assert block_diagonal_norm(blocks) == pytest.approx(4.0)
+
+    def test_block_diagonal_norm_matches_assembled_matrix(self):
+        rng = np.random.default_rng(5)
+        blocks = [rng.random((3, 2)), rng.random((2, 4)), rng.random((1, 1))]
+        rows = sum(b.shape[0] for b in blocks)
+        cols = sum(b.shape[1] for b in blocks)
+        assembled = np.zeros((rows, cols))
+        r = c = 0
+        for b in blocks:
+            assembled[r : r + b.shape[0], c : c + b.shape[1]] = b
+            r += b.shape[0]
+            c += b.shape[1]
+        assert block_diagonal_norm(blocks) == pytest.approx(euclidean_norm(assembled))
+
+    def test_block_diagonal_norm_empty(self):
+        assert block_diagonal_norm([]) == 0.0
+
+    def test_power_iteration_matches_svd(self):
+        rng = np.random.default_rng(6)
+        m = rng.random((8, 5))
+        assert power_iteration_norm(m, iterations=500) == pytest.approx(
+            euclidean_norm(m), rel=1e-6
+        )
+
+    def test_power_iteration_zero_matrix(self):
+        assert power_iteration_norm(np.zeros((3, 3))) == 0.0
+
+    def test_power_iteration_empty(self):
+        assert power_iteration_norm(np.zeros((0, 2))) == 0.0

@@ -1,0 +1,153 @@
+"""Tests for the protocol model (repro.gossip.model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule, make_round
+from repro.topologies.classic import cycle_graph, path_graph
+from repro.topologies.debruijn import de_bruijn_digraph
+
+
+class TestMakeRound:
+    def test_normalises_to_tuple(self):
+        assert make_round([(0, 1), (2, 3)]) == ((0, 1), (2, 3))
+
+    def test_empty_round_allowed(self):
+        assert make_round([]) == ()
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_round([(0, 1), (0, 1)])
+
+
+class TestGossipProtocol:
+    def test_length_and_round_access(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)], [(1, 2)], [(2, 3)]], mode=Mode.HALF_DUPLEX)
+        assert protocol.length == 3
+        assert protocol.round(1) == ((0, 1),)
+        assert protocol.round(3) == ((2, 3),)
+        assert protocol.arcs_at(2) == ((1, 2),)
+
+    def test_round_index_out_of_range(self):
+        g = path_graph(3)
+        protocol = GossipProtocol(g, [[(0, 1)]])
+        with pytest.raises(ProtocolError):
+            protocol.round(0)
+        with pytest.raises(ProtocolError):
+            protocol.round(2)
+
+    def test_unknown_arc_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ProtocolError):
+            GossipProtocol(g, [[(0, 2)]])
+
+    def test_half_duplex_requires_symmetric_graph(self):
+        directed = de_bruijn_digraph(2, 3)
+        with pytest.raises(ProtocolError):
+            GossipProtocol(directed, [[]], mode=Mode.HALF_DUPLEX)
+
+    def test_directed_mode_allows_asymmetric_graph(self):
+        directed = de_bruijn_digraph(2, 3)
+        protocol = GossipProtocol(directed, [[("000", "001")]], mode=Mode.DIRECTED)
+        assert protocol.length == 1
+
+    def test_active_arcs(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)], [(1, 2)], [(0, 1)]])
+        assert protocol.active_arcs() == {(0, 1), (1, 2)}
+
+    def test_is_systolic_true(self):
+        g = path_graph(4)
+        rounds = [[(0, 1)], [(2, 3)], [(0, 1)], [(2, 3)], [(0, 1)]]
+        protocol = GossipProtocol(g, rounds)
+        assert protocol.is_systolic(2)
+        assert not protocol.is_systolic(3)
+
+    def test_is_systolic_compares_round_sets_not_order(self):
+        g = path_graph(5)
+        rounds = [[(0, 1), (2, 3)], [(3, 4)], [(2, 3), (0, 1)], [(3, 4)]]
+        protocol = GossipProtocol(g, rounds)
+        assert protocol.is_systolic(2)
+
+    def test_is_systolic_invalid_period(self):
+        g = path_graph(3)
+        protocol = GossipProtocol(g, [[(0, 1)]])
+        with pytest.raises(ProtocolError):
+            protocol.is_systolic(0)
+
+    def test_minimal_period(self):
+        g = path_graph(4)
+        rounds = [[(0, 1)], [(2, 3)], [(0, 1)], [(2, 3)]]
+        assert GossipProtocol(g, rounds).minimal_period() == 2
+        aperiodic = GossipProtocol(g, [[(0, 1)], [(2, 3)], [(1, 2)]])
+        assert aperiodic.minimal_period() == 3
+
+    def test_truncate(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)], [(1, 2)], [(2, 3)]])
+        shorter = protocol.truncate(2)
+        assert shorter.length == 2
+        with pytest.raises(ProtocolError):
+            protocol.truncate(5)
+
+    def test_extend(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)]])
+        longer = protocol.extend([[(1, 2)], [(2, 3)]])
+        assert longer.length == 3
+        assert longer.round(3) == ((2, 3),)
+
+    def test_len_dunder(self):
+        g = path_graph(3)
+        assert len(GossipProtocol(g, [[(0, 1)], [(1, 2)]])) == 2
+
+
+class TestSystolicSchedule:
+    def test_period(self):
+        g = cycle_graph(4)
+        schedule = SystolicSchedule(g, [[(0, 1), (2, 3)], [(1, 2), (3, 0)]])
+        assert schedule.period == 2
+
+    def test_round_wraps_around(self):
+        g = cycle_graph(4)
+        schedule = SystolicSchedule(g, [[(0, 1)], [(1, 2)]])
+        assert schedule.round(1) == schedule.round(3) == schedule.round(5)
+        assert schedule.round(2) == schedule.round(4)
+
+    def test_round_index_must_be_positive(self):
+        g = cycle_graph(4)
+        schedule = SystolicSchedule(g, [[(0, 1)]])
+        with pytest.raises(ProtocolError):
+            schedule.round(0)
+
+    def test_unroll_is_systolic(self):
+        g = cycle_graph(4)
+        schedule = SystolicSchedule(g, [[(0, 1)], [(1, 2)], [(2, 3)]])
+        protocol = schedule.unroll(10)
+        assert protocol.length == 10
+        assert protocol.is_systolic(3)
+        assert protocol.minimal_period() == 3
+
+    def test_unroll_zero_length(self):
+        g = cycle_graph(4)
+        schedule = SystolicSchedule(g, [[(0, 1)]])
+        assert schedule.unroll(0).length == 0
+
+    def test_unroll_negative_rejected(self):
+        g = cycle_graph(4)
+        schedule = SystolicSchedule(g, [[(0, 1)]])
+        with pytest.raises(ProtocolError):
+            schedule.unroll(-1)
+
+    def test_empty_base_rounds_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(ProtocolError):
+            SystolicSchedule(g, [])
+
+    def test_invalid_arcs_rejected_at_construction(self):
+        g = path_graph(3)
+        with pytest.raises(ProtocolError):
+            SystolicSchedule(g, [[(0, 2)]])

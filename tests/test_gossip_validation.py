@@ -1,0 +1,117 @@
+"""Tests for protocol validation (repro.gossip.validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gossip.model import GossipProtocol, Mode, make_round
+from repro.gossip.validation import (
+    check_full_duplex_pairing,
+    check_matching,
+    validate_protocol,
+    validate_round,
+)
+from repro.topologies.classic import cycle_graph, path_graph
+
+
+class TestCheckMatching:
+    def test_valid_matching(self):
+        check_matching(make_round([(0, 1), (2, 3)]))
+
+    def test_empty_round_is_matching(self):
+        check_matching(make_round([]))
+
+    def test_shared_head_rejected(self):
+        with pytest.raises(ValidationError):
+            check_matching(make_round([(0, 1), (2, 1)]))
+
+    def test_shared_tail_rejected(self):
+        with pytest.raises(ValidationError):
+            check_matching(make_round([(0, 1), (0, 2)]))
+
+    def test_tail_equals_other_head_rejected(self):
+        with pytest.raises(ValidationError):
+            check_matching(make_round([(0, 1), (1, 2)]))
+
+    def test_opposite_pair_rejected_without_flag(self):
+        with pytest.raises(ValidationError):
+            check_matching(make_round([(0, 1), (1, 0)]))
+
+    def test_opposite_pair_allowed_with_flag(self):
+        check_matching(make_round([(0, 1), (1, 0)]), allow_opposite_pairs=True)
+
+    def test_non_opposite_conflict_rejected_even_with_flag(self):
+        with pytest.raises(ValidationError):
+            check_matching(make_round([(0, 1), (1, 2)]), allow_opposite_pairs=True)
+
+    def test_three_arcs_at_one_vertex_rejected_with_flag(self):
+        with pytest.raises(ValidationError):
+            check_matching(
+                make_round([(0, 1), (1, 0), (2, 1)]), allow_opposite_pairs=True
+            )
+
+
+class TestFullDuplexPairing:
+    def test_paired_round_ok(self):
+        check_full_duplex_pairing(make_round([(0, 1), (1, 0)]))
+
+    def test_unpaired_arc_rejected(self):
+        with pytest.raises(ValidationError):
+            check_full_duplex_pairing(make_round([(0, 1)]))
+
+
+class TestValidateRound:
+    def test_half_duplex_round(self):
+        validate_round(make_round([(0, 1), (2, 3)]), Mode.HALF_DUPLEX)
+
+    def test_directed_round(self):
+        validate_round(make_round([(0, 1), (2, 3)]), Mode.DIRECTED)
+
+    def test_full_duplex_round(self):
+        validate_round(make_round([(0, 1), (1, 0), (2, 3), (3, 2)]), Mode.FULL_DUPLEX)
+
+    def test_full_duplex_unpaired_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_round(make_round([(0, 1), (2, 3)]), Mode.FULL_DUPLEX)
+
+    def test_half_duplex_opposite_pair_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_round(make_round([(0, 1), (1, 0)]), Mode.HALF_DUPLEX)
+
+
+class TestValidateProtocol:
+    def test_valid_half_duplex_protocol(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1), (2, 3)], [(1, 0), (3, 2)]])
+        validate_protocol(protocol)
+
+    def test_error_message_names_offending_round(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)], [(1, 2), (3, 2)]])
+        with pytest.raises(ValidationError, match="round 2"):
+            validate_protocol(protocol)
+
+    def test_require_complete_accepts_complete_protocol(self):
+        g = path_graph(3)
+        rounds = [
+            [(0, 1)], [(1, 2)], [(2, 1)], [(1, 0)],
+            [(0, 1)], [(1, 2)],
+        ]
+        protocol = GossipProtocol(g, rounds)
+        validate_protocol(protocol, require_complete=True)
+
+    def test_require_complete_rejects_incomplete_protocol(self):
+        g = path_graph(3)
+        protocol = GossipProtocol(g, [[(0, 1)]])
+        with pytest.raises(ValidationError, match="does not complete"):
+            validate_protocol(protocol, require_complete=True)
+
+    def test_full_duplex_protocol_valid(self):
+        g = cycle_graph(4)
+        protocol = GossipProtocol(
+            g,
+            [[(0, 1), (1, 0), (2, 3), (3, 2)], [(1, 2), (2, 1), (3, 0), (0, 3)]],
+            mode=Mode.FULL_DUPLEX,
+        )
+        validate_protocol(protocol)

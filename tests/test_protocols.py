@@ -1,0 +1,199 @@
+"""Tests for the constructive gossip protocols (repro.protocols.*)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import Mode
+from repro.gossip.simulation import gossip_time, simulate_systolic
+from repro.gossip.validation import validate_protocol
+from repro.protocols.complete import complete_graph_schedule, recursive_doubling_rounds
+from repro.protocols.cycle import cycle_systolic_schedule
+from repro.protocols.generic import coloring_systolic_schedule, measured_gossip_time
+from repro.protocols.grid import grid_systolic_schedule
+from repro.protocols.hypercube import hypercube_dimension_exchange
+from repro.protocols.path import path_systolic_schedule
+from repro.protocols.tree import tree_systolic_schedule
+from repro.topologies.butterfly import wrapped_butterfly
+from repro.topologies.debruijn import de_bruijn, de_bruijn_digraph
+from repro.topologies.kautz import kautz
+from repro.topologies.properties import diameter
+
+
+def _assert_valid_and_complete(schedule):
+    validate_protocol(schedule.unroll(2 * schedule.period))
+    result = simulate_systolic(schedule)
+    assert result.complete
+    return result.completion_round
+
+
+class TestPathSchedules:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13])
+    def test_half_duplex_completes(self, n):
+        schedule = path_systolic_schedule(n, Mode.HALF_DUPLEX)
+        completion = _assert_valid_and_complete(schedule)
+        assert completion >= n - 1  # can never beat the diameter
+
+    @pytest.mark.parametrize("n", [2, 4, 7, 10])
+    def test_full_duplex_completes(self, n):
+        schedule = path_systolic_schedule(n, Mode.FULL_DUPLEX)
+        completion = _assert_valid_and_complete(schedule)
+        assert completion >= n - 1
+
+    def test_period_values(self):
+        assert path_systolic_schedule(2, Mode.HALF_DUPLEX).period == 2
+        assert path_systolic_schedule(6, Mode.HALF_DUPLEX).period == 4
+        assert path_systolic_schedule(6, Mode.FULL_DUPLEX).period == 2
+
+    def test_half_duplex_time_linear_in_n(self):
+        times = [gossip_time(path_systolic_schedule(n, Mode.HALF_DUPLEX)) for n in (6, 12, 24)]
+        assert times[1] > times[0]
+        assert times[2] > times[1]
+        # roughly linear: doubling n should not much more than double the time
+        assert times[2] <= 3 * times[1]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ProtocolError):
+            path_systolic_schedule(1, Mode.HALF_DUPLEX)
+        with pytest.raises(ProtocolError):
+            path_systolic_schedule(5, Mode.DIRECTED)
+
+
+class TestCycleSchedules:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 9, 12])
+    def test_completes_both_modes(self, n):
+        for mode in (Mode.HALF_DUPLEX, Mode.FULL_DUPLEX):
+            schedule = cycle_systolic_schedule(n, mode)
+            completion = _assert_valid_and_complete(schedule)
+            assert completion >= n // 2
+
+    def test_even_cycle_periods(self):
+        assert cycle_systolic_schedule(8, Mode.FULL_DUPLEX).period == 2
+        assert cycle_systolic_schedule(8, Mode.HALF_DUPLEX).period == 4
+
+    def test_odd_cycle_periods(self):
+        assert cycle_systolic_schedule(9, Mode.FULL_DUPLEX).period == 3
+        assert cycle_systolic_schedule(9, Mode.HALF_DUPLEX).period == 6
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            cycle_systolic_schedule(2, Mode.HALF_DUPLEX)
+        with pytest.raises(ProtocolError):
+            cycle_systolic_schedule(6, Mode.DIRECTED)
+
+
+class TestCompleteGraphSchedules:
+    def test_full_duplex_power_of_two_is_log_n(self):
+        for k in (2, 3, 4):
+            schedule = complete_graph_schedule(2**k, Mode.FULL_DUPLEX)
+            assert gossip_time(schedule) == k
+
+    def test_half_duplex_power_of_two_is_two_log_n(self):
+        schedule = complete_graph_schedule(8, Mode.HALF_DUPLEX)
+        assert gossip_time(schedule) == 6
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 12])
+    def test_non_power_of_two_completes(self, n):
+        schedule = complete_graph_schedule(n, Mode.FULL_DUPLEX)
+        completion = _assert_valid_and_complete(schedule)
+        assert completion >= math.ceil(math.log2(n))
+
+    def test_rounds_are_matchings(self):
+        rounds = recursive_doubling_rounds(8, Mode.HALF_DUPLEX)
+        assert len(rounds) == 2 * 3
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            recursive_doubling_rounds(1, Mode.FULL_DUPLEX)
+        with pytest.raises(ProtocolError):
+            recursive_doubling_rounds(8, Mode.DIRECTED)
+
+
+class TestHypercubeSchedules:
+    def test_full_duplex_optimal(self):
+        for dim in (1, 2, 3, 4, 5):
+            assert gossip_time(hypercube_dimension_exchange(dim, Mode.FULL_DUPLEX)) == dim
+
+    def test_half_duplex_twice_dim(self):
+        for dim in (2, 3, 4):
+            assert gossip_time(hypercube_dimension_exchange(dim, Mode.HALF_DUPLEX)) == 2 * dim
+
+    def test_schedule_is_valid(self):
+        _assert_valid_and_complete(hypercube_dimension_exchange(3, Mode.FULL_DUPLEX))
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            hypercube_dimension_exchange(0, Mode.FULL_DUPLEX)
+        with pytest.raises(ProtocolError):
+            hypercube_dimension_exchange(3, Mode.DIRECTED)
+
+
+class TestTreeSchedules:
+    @pytest.mark.parametrize("d, height", [(2, 2), (2, 3), (3, 2)])
+    def test_completes(self, d, height):
+        schedule = tree_systolic_schedule(d, height, Mode.HALF_DUPLEX)
+        completion = _assert_valid_and_complete(schedule)
+        assert completion >= 2 * height  # everything must pass through the root
+
+    def test_full_duplex(self):
+        _assert_valid_and_complete(tree_systolic_schedule(2, 3, Mode.FULL_DUPLEX))
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            tree_systolic_schedule(2, 0, Mode.HALF_DUPLEX)
+        with pytest.raises(ProtocolError):
+            tree_systolic_schedule(2, 2, Mode.DIRECTED)
+
+
+class TestGridSchedules:
+    @pytest.mark.parametrize("rows, cols", [(2, 2), (3, 4), (4, 4), (1, 6)])
+    def test_completes(self, rows, cols):
+        schedule = grid_systolic_schedule(rows, cols, Mode.HALF_DUPLEX)
+        completion = _assert_valid_and_complete(schedule)
+        assert completion >= rows + cols - 2
+
+    def test_full_duplex_period_at_most_four(self):
+        assert grid_systolic_schedule(4, 4, Mode.FULL_DUPLEX).period <= 4
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            grid_systolic_schedule(1, 1, Mode.HALF_DUPLEX)
+        with pytest.raises(ProtocolError):
+            grid_systolic_schedule(3, 3, Mode.DIRECTED)
+
+
+class TestGenericColoringSchedules:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: de_bruijn(2, 3),
+            lambda: de_bruijn(2, 4),
+            lambda: wrapped_butterfly(2, 3),
+            lambda: kautz(2, 3),
+        ],
+    )
+    def test_completes_on_paper_topologies(self, graph_factory):
+        graph = graph_factory()
+        schedule = coloring_systolic_schedule(graph, Mode.HALF_DUPLEX)
+        completion = _assert_valid_and_complete(schedule)
+        assert completion >= diameter(graph)
+
+    def test_measured_time_is_positive_and_bounded(self):
+        graph = de_bruijn(2, 4)
+        time = measured_gossip_time(graph, Mode.HALF_DUPLEX)
+        # Crude upper bound: (diameter + 1) periods of the colouring schedule.
+        schedule = coloring_systolic_schedule(graph, Mode.HALF_DUPLEX)
+        assert 0 < time <= (diameter(graph) + 1) * schedule.period
+
+    def test_full_duplex_faster_than_half_duplex(self):
+        graph = de_bruijn(2, 4)
+        assert measured_gossip_time(graph, Mode.FULL_DUPLEX) <= measured_gossip_time(
+            graph, Mode.HALF_DUPLEX
+        )
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(ProtocolError):
+            coloring_systolic_schedule(de_bruijn_digraph(2, 3), Mode.HALF_DUPLEX)

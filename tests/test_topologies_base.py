@@ -1,0 +1,187 @@
+"""Tests for the Digraph container (repro.topologies.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topologies.base import Digraph, symmetric_closure
+
+
+class TestConstruction:
+    def test_vertices_preserved_in_order(self):
+        g = Digraph(["a", "b", "c"], [("a", "b")])
+        assert g.vertices == ("a", "b", "c")
+
+    def test_vertex_and_arc_counts(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(TopologyError):
+            Digraph([0, 1, 1], [])
+
+    def test_empty_vertex_set_rejected(self):
+        with pytest.raises(TopologyError):
+            Digraph([], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Digraph([0, 1], [(0, 0)])
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(TopologyError):
+            Digraph([0, 1], [(0, 1), (0, 1)])
+
+    def test_arc_with_unknown_vertex_rejected(self):
+        with pytest.raises(TopologyError):
+            Digraph([0, 1], [(0, 2)])
+
+    def test_single_vertex_no_arcs(self):
+        g = Digraph([42], [])
+        assert g.n == 1
+        assert g.m == 0
+
+
+class TestAccessors:
+    @pytest.fixture
+    def triangle(self):
+        return Digraph([0, 1, 2], [(0, 1), (1, 2), (2, 0), (1, 0)])
+
+    def test_index_roundtrip(self, triangle):
+        for i, v in enumerate(triangle.vertices):
+            assert triangle.index(v) == i
+            assert triangle.vertex(i) == v
+
+    def test_index_unknown_vertex_raises(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.index(99)
+
+    def test_has_arc(self, triangle):
+        assert triangle.has_arc(0, 1)
+        assert not triangle.has_arc(2, 1)
+
+    def test_out_neighbors(self, triangle):
+        assert set(triangle.out_neighbors(1)) == {2, 0}
+
+    def test_in_neighbors(self, triangle):
+        assert set(triangle.in_neighbors(0)) == {2, 1}
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(1) == 2
+        assert triangle.in_degree(1) == 1
+
+    def test_unknown_vertex_neighbors_raise(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.out_neighbors("missing")
+        with pytest.raises(TopologyError):
+            triangle.in_neighbors("missing")
+
+    def test_contains_and_iter_and_len(self, triangle):
+        assert 0 in triangle
+        assert 99 not in triangle
+        assert list(triangle) == [0, 1, 2]
+        assert len(triangle) == 3
+
+    def test_equality_ignores_order(self):
+        a = Digraph([0, 1], [(0, 1)])
+        b = Digraph([1, 0], [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = Digraph([0, 1], [(0, 1)])
+        b = Digraph([0, 1], [(1, 0)])
+        assert a != b
+        assert a != "not a digraph"
+
+
+class TestIndexViews:
+    def test_arc_index_array_shape(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2)])
+        arr = g.arc_index_array()
+        assert arr.shape == (2, 2)
+        assert arr.tolist() == [[0, 1], [1, 2]]
+
+    def test_arc_index_array_empty(self):
+        g = Digraph([0, 1], [])
+        assert g.arc_index_array().shape == (0, 2)
+
+    def test_adjacency_matrix(self):
+        g = Digraph([0, 1, 2], [(0, 1), (2, 1)])
+        mat = g.adjacency_matrix()
+        expected = np.zeros((3, 3), dtype=bool)
+        expected[0, 1] = True
+        expected[2, 1] = True
+        assert np.array_equal(mat, expected)
+
+
+class TestTransforms:
+    def test_is_symmetric_true(self):
+        g = Digraph([0, 1], [(0, 1), (1, 0)])
+        assert g.is_symmetric()
+
+    def test_is_symmetric_false(self):
+        g = Digraph([0, 1], [(0, 1)])
+        assert not g.is_symmetric()
+
+    def test_reverse(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2)])
+        r = g.reverse()
+        assert r.has_arc(1, 0)
+        assert r.has_arc(2, 1)
+        assert not r.has_arc(0, 1)
+
+    def test_undirected_edges_dedup(self):
+        g = Digraph([0, 1], [(0, 1), (1, 0)])
+        assert g.undirected_edges() == [frozenset({0, 1})]
+
+    def test_subgraph(self):
+        g = Digraph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 2
+        assert not sub.has_vertex(3)
+
+    def test_subgraph_unknown_vertex_raises(self):
+        g = Digraph([0, 1], [(0, 1)])
+        with pytest.raises(TopologyError):
+            g.subgraph([0, 5])
+
+    def test_relabel(self):
+        g = Digraph([0, 1], [(0, 1)])
+        r = g.relabel({0: "x", 1: "y"})
+        assert r.has_arc("x", "y")
+
+    def test_relabel_non_injective_raises(self):
+        g = Digraph([0, 1], [(0, 1)])
+        with pytest.raises(TopologyError):
+            g.relabel({0: "x", 1: "x"})
+
+    def test_to_networkx(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 2
+
+    def test_from_edges_builds_symmetric(self):
+        g = Digraph.from_edges([(0, 1), (1, 2)])
+        assert g.is_symmetric()
+        assert g.m == 4
+
+    def test_from_edges_with_explicit_vertices(self):
+        g = Digraph.from_edges([(0, 1)], vertices=[2, 1, 0])
+        assert g.vertices == (2, 1, 0)
+
+    def test_symmetric_closure_adds_missing_arcs(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2), (2, 1)])
+        closed = symmetric_closure(g)
+        assert closed.is_symmetric()
+        assert closed.m == 4
+
+    def test_symmetric_closure_idempotent(self):
+        g = Digraph.from_edges([(0, 1), (1, 2)])
+        closed = symmetric_closure(g)
+        assert closed.m == g.m

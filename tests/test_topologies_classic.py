@@ -1,0 +1,189 @@
+"""Tests for the classic topology generators (repro.topologies.classic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topologies.classic import (
+    complete_binary_tree,
+    complete_dary_tree,
+    complete_graph,
+    cube_connected_cycles,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    path_graph,
+    star_graph,
+    torus_2d,
+)
+from repro.topologies.properties import (
+    diameter,
+    is_regular,
+    is_strongly_connected,
+    is_symmetric,
+)
+
+
+class TestPath:
+    def test_counts(self):
+        g = path_graph(7)
+        assert g.n == 7
+        assert g.m == 2 * 6
+
+    def test_symmetric_and_connected(self):
+        g = path_graph(5)
+        assert is_symmetric(g)
+        assert is_strongly_connected(g)
+
+    def test_diameter(self):
+        assert diameter(path_graph(9)) == 8
+
+    def test_single_vertex(self):
+        assert path_graph(1).m == 0
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            path_graph(0)
+
+
+class TestCycle:
+    def test_counts(self):
+        g = cycle_graph(10)
+        assert g.n == 10
+        assert g.m == 20
+
+    def test_diameter(self):
+        assert diameter(cycle_graph(10)) == 5
+        assert diameter(cycle_graph(9)) == 4
+
+    def test_regular(self):
+        assert is_regular(cycle_graph(6))
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            cycle_graph(2)
+
+
+class TestComplete:
+    def test_counts(self):
+        g = complete_graph(6)
+        assert g.n == 6
+        assert g.m == 6 * 5
+
+    def test_diameter_is_one(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            complete_graph(0)
+
+
+class TestStar:
+    def test_counts(self):
+        g = star_graph(7)
+        assert g.n == 7
+        assert g.m == 2 * 6
+
+    def test_diameter(self):
+        assert diameter(star_graph(5)) == 2
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            star_graph(1)
+
+
+class TestHypercube:
+    def test_counts(self):
+        g = hypercube(4)
+        assert g.n == 16
+        assert g.m == 2 * 4 * 16 // 2
+
+    def test_diameter_equals_dimension(self):
+        assert diameter(hypercube(4)) == 4
+
+    def test_regular(self):
+        assert is_regular(hypercube(3))
+
+    def test_vertex_labels_are_bitstrings(self):
+        g = hypercube(3)
+        assert "000" in g
+        assert "111" in g
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+
+class TestGridAndTorus:
+    def test_grid_counts(self):
+        g = grid_2d(3, 5)
+        assert g.n == 15
+        # edges: 3*(5-1) horizontal + (3-1)*5 vertical = 12 + 10 = 22
+        assert g.m == 2 * 22
+
+    def test_grid_diameter(self):
+        assert diameter(grid_2d(3, 5)) == 2 + 4
+
+    def test_grid_invalid(self):
+        with pytest.raises(TopologyError):
+            grid_2d(0, 3)
+
+    def test_torus_counts(self):
+        g = torus_2d(3, 4)
+        assert g.n == 12
+        assert g.m == 2 * (12 + 12) // 2 * 2  # 2 edges per vertex -> 24 undirected
+
+    def test_torus_regular(self):
+        assert is_regular(torus_2d(4, 4))
+
+    def test_torus_too_small(self):
+        with pytest.raises(TopologyError):
+            torus_2d(2, 4)
+
+
+class TestTrees:
+    def test_dary_tree_counts(self):
+        g = complete_dary_tree(3, 2)
+        # 1 + 3 + 9 = 13 vertices, 12 edges
+        assert g.n == 13
+        assert g.m == 2 * 12
+
+    def test_binary_tree_counts(self):
+        g = complete_binary_tree(3)
+        assert g.n == 15
+
+    def test_height_zero_is_single_vertex(self):
+        g = complete_dary_tree(2, 0)
+        assert g.n == 1
+        assert g.m == 0
+
+    def test_root_is_empty_tuple(self):
+        g = complete_dary_tree(2, 1)
+        assert () in g
+
+    def test_diameter(self):
+        assert diameter(complete_binary_tree(3)) == 6
+
+    def test_invalid_arity(self):
+        with pytest.raises(TopologyError):
+            complete_dary_tree(0, 2)
+
+    def test_invalid_height(self):
+        with pytest.raises(TopologyError):
+            complete_dary_tree(2, -1)
+
+
+class TestCubeConnectedCycles:
+    def test_counts(self):
+        g = cube_connected_cycles(3)
+        assert g.n == 3 * 8
+        assert is_regular(g)
+        assert all(g.out_degree(v) == 3 for v in g.vertices)
+
+    def test_connected(self):
+        assert is_strongly_connected(cube_connected_cycles(3))
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            cube_connected_cycles(2)

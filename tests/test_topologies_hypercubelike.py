@@ -1,0 +1,194 @@
+"""Tests for the Butterfly, de Bruijn and Kautz generators (Section 3 networks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topologies.butterfly import (
+    butterfly,
+    wrapped_butterfly,
+    wrapped_butterfly_digraph,
+)
+from repro.topologies.debruijn import de_bruijn, de_bruijn_digraph
+from repro.topologies.kautz import kautz, kautz_digraph
+from repro.topologies.properties import (
+    diameter,
+    is_strongly_connected,
+    is_symmetric,
+)
+
+
+class TestButterfly:
+    def test_vertex_count(self):
+        g = butterfly(2, 3)
+        assert g.n == (3 + 1) * 2**3
+
+    def test_is_symmetric_by_construction(self):
+        assert is_symmetric(butterfly(2, 2))
+
+    def test_level_zero_has_no_downward_arcs(self):
+        g = butterfly(2, 2)
+        assert g.out_degree(("00", 0)) == 2  # only the upward opposites
+        # level-0 vertices connect only to level-1 vertices
+        assert all(level == 1 for (_x, level) in g.out_neighbors(("00", 0)))
+
+    def test_internal_level_degree(self):
+        g = butterfly(2, 3)
+        # an internal-level vertex has d arcs down and d arcs up (as targets of opposites)
+        assert g.out_degree(("000", 1)) == 4
+
+    def test_arc_replaces_correct_position(self):
+        g = butterfly(2, 3)
+        # from level 3, position 2 (x_2, leftmost char) is replaced
+        assert g.has_arc(("000", 3), ("100", 2))
+        assert g.has_arc(("000", 3), ("000", 2))
+        assert not g.has_arc(("000", 3), ("010", 2))
+
+    def test_connected(self):
+        assert is_strongly_connected(butterfly(2, 2))
+
+    def test_diameter_is_two_dim(self):
+        assert diameter(butterfly(2, 2)) == 4
+
+    def test_degree_three(self):
+        g = butterfly(3, 2)
+        assert g.n == 3 * 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            butterfly(1, 3)
+        with pytest.raises(TopologyError):
+            butterfly(2, 0)
+        with pytest.raises(TopologyError):
+            butterfly(11, 2)
+
+
+class TestWrappedButterfly:
+    def test_digraph_vertex_count(self):
+        g = wrapped_butterfly_digraph(2, 3)
+        assert g.n == 3 * 2**3
+
+    def test_digraph_out_degree_is_d(self):
+        g = wrapped_butterfly_digraph(2, 3)
+        assert all(g.out_degree(v) == 2 for v in g.vertices)
+
+    def test_digraph_in_degree_is_d(self):
+        g = wrapped_butterfly_digraph(3, 2)
+        assert all(g.in_degree(v) == 3 for v in g.vertices)
+
+    def test_digraph_not_symmetric(self):
+        assert not is_symmetric(wrapped_butterfly_digraph(2, 3))
+
+    def test_wrap_around_arc(self):
+        g = wrapped_butterfly_digraph(2, 3)
+        # level 0 wraps to level D-1 replacing position D-1
+        assert g.has_arc(("000", 0), ("100", 2))
+        assert g.has_arc(("000", 0), ("000", 2))
+
+    def test_level_arc(self):
+        g = wrapped_butterfly_digraph(2, 3)
+        # level 2 points to level 1 replacing position 1
+        assert g.has_arc(("000", 2), ("010", 1))
+
+    def test_digraph_strongly_connected(self):
+        assert is_strongly_connected(wrapped_butterfly_digraph(2, 3))
+
+    def test_undirected_is_symmetric(self):
+        assert is_symmetric(wrapped_butterfly(2, 3))
+
+    def test_undirected_same_vertices(self):
+        directed = wrapped_butterfly_digraph(2, 3)
+        undirected = wrapped_butterfly(2, 3)
+        assert set(directed.vertices) == set(undirected.vertices)
+
+    def test_dimension_one_rejected(self):
+        with pytest.raises(TopologyError):
+            wrapped_butterfly_digraph(2, 1)
+
+
+class TestDeBruijn:
+    def test_vertex_count(self):
+        assert de_bruijn_digraph(2, 4).n == 16
+        assert de_bruijn_digraph(3, 3).n == 27
+
+    def test_arc_count_excludes_self_loops(self):
+        g = de_bruijn_digraph(2, 3)
+        assert g.m == 2 * 8 - 2  # d^(D+1) - d
+
+    def test_shift_arcs(self):
+        g = de_bruijn_digraph(2, 3)
+        assert g.has_arc("011", "110")
+        assert g.has_arc("011", "111")
+        assert not g.has_arc("011", "001")
+
+    def test_no_self_loops_at_constant_strings(self):
+        g = de_bruijn_digraph(2, 3)
+        assert not g.has_arc("000", "000")
+        assert g.out_degree("000") == 1  # only 001 remains
+
+    def test_strongly_connected(self):
+        assert is_strongly_connected(de_bruijn_digraph(2, 4))
+
+    def test_digraph_diameter_is_dimension(self):
+        assert diameter(de_bruijn_digraph(2, 3)) == 3
+
+    def test_undirected_symmetric(self):
+        assert is_symmetric(de_bruijn(2, 3))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            de_bruijn_digraph(1, 3)
+        with pytest.raises(TopologyError):
+            de_bruijn_digraph(2, 0)
+
+
+class TestKautz:
+    def test_vertex_count(self):
+        assert kautz_digraph(2, 3).n == 3 * 2**2
+        assert kautz_digraph(3, 2).n == 4 * 3
+
+    def test_no_adjacent_equal_symbols(self):
+        g = kautz_digraph(2, 3)
+        for v in g.vertices:
+            assert all(v[i] != v[i + 1] for i in range(len(v) - 1))
+
+    def test_out_degree_is_d(self):
+        g = kautz_digraph(2, 3)
+        assert all(g.out_degree(v) == 2 for v in g.vertices)
+
+    def test_in_degree_is_d(self):
+        g = kautz_digraph(2, 3)
+        assert all(g.in_degree(v) == 2 for v in g.vertices)
+
+    def test_no_self_loops_possible(self):
+        g = kautz_digraph(2, 2)
+        assert all(not g.has_arc(v, v) for v in g.vertices)
+
+    def test_shift_arcs(self):
+        g = kautz_digraph(2, 3)
+        assert g.has_arc("010", "101")
+        assert g.has_arc("010", "102")
+        assert not g.has_arc("010", "100")
+
+    def test_strongly_connected(self):
+        assert is_strongly_connected(kautz_digraph(2, 3))
+
+    def test_diameter_is_dimension(self):
+        assert diameter(kautz_digraph(2, 3)) == 3
+
+    def test_undirected_symmetric(self):
+        assert is_symmetric(kautz(2, 3))
+
+    def test_dimension_one_is_complete_digraph(self):
+        g = kautz_digraph(2, 1)
+        assert g.n == 3
+        assert g.m == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            kautz_digraph(1, 3)
+        with pytest.raises(TopologyError):
+            kautz_digraph(2, 0)
+        with pytest.raises(TopologyError):
+            kautz_digraph(10, 2)

@@ -1,0 +1,141 @@
+"""Tests for distance / degree / connectivity helpers (repro.topologies.properties)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topologies.base import Digraph
+from repro.topologies.classic import complete_graph, cycle_graph, path_graph, star_graph
+from repro.topologies.debruijn import de_bruijn_digraph
+from repro.topologies.properties import (
+    all_pairs_distances,
+    degree_parameter,
+    diameter,
+    distances_from,
+    eccentricity,
+    in_degrees,
+    is_regular,
+    is_strongly_connected,
+    is_symmetric,
+    max_degree,
+    out_degrees,
+    set_distance,
+)
+
+
+class TestDistances:
+    def test_distances_from_path_endpoint(self):
+        g = path_graph(5)
+        dist = distances_from(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_respect_direction(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2)])
+        assert distances_from(g, 0) == {0: 0, 1: 1, 2: 2}
+        assert distances_from(g, 2) == {2: 0}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(TopologyError):
+            distances_from(path_graph(3), 99)
+
+    def test_all_pairs_matches_single_source(self):
+        g = cycle_graph(7)
+        matrix = all_pairs_distances(g)
+        for v in g.vertices:
+            single = distances_from(g, v)
+            for w in g.vertices:
+                assert matrix[g.index(v), g.index(w)] == single[w]
+
+    def test_all_pairs_unreachable_marked(self):
+        g = Digraph([0, 1], [(0, 1)])
+        matrix = all_pairs_distances(g)
+        assert matrix[1, 0] == -1
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+
+    def test_eccentricity_unreachable_raises(self):
+        g = Digraph([0, 1], [(0, 1)])
+        with pytest.raises(TopologyError):
+            eccentricity(g, 1)
+
+    def test_diameter_complete(self):
+        assert diameter(complete_graph(4)) == 1
+
+    def test_diameter_directed_de_bruijn(self):
+        assert diameter(de_bruijn_digraph(2, 4)) == 4
+
+
+class TestSetDistance:
+    def test_basic(self):
+        g = path_graph(10)
+        assert set_distance(g, [0, 1], [8, 9]) == 7
+
+    def test_overlapping_sets_distance_zero(self):
+        g = path_graph(4)
+        assert set_distance(g, [0, 1], [1, 2]) == 0
+
+    def test_unreachable_returns_minus_one(self):
+        g = Digraph([0, 1, 2], [(0, 1)])
+        assert set_distance(g, [2], [0]) == -1
+
+    def test_empty_sets_raise(self):
+        g = path_graph(3)
+        with pytest.raises(TopologyError):
+            set_distance(g, [], [1])
+        with pytest.raises(TopologyError):
+            set_distance(g, [0], [])
+
+    def test_unknown_vertices_raise(self):
+        g = path_graph(3)
+        with pytest.raises(TopologyError):
+            set_distance(g, [99], [1])
+        with pytest.raises(TopologyError):
+            set_distance(g, [0], [99])
+
+
+class TestDegrees:
+    def test_out_and_in_degrees_star(self):
+        g = star_graph(5)
+        outs = out_degrees(g)
+        ins = in_degrees(g)
+        assert outs[0] == 4
+        assert ins[0] == 4
+        assert all(outs[i] == 1 for i in range(1, 5))
+
+    def test_max_degree(self):
+        assert max_degree(star_graph(6)) == 5
+
+    def test_degree_parameter_undirected(self):
+        # undirected: max degree minus one
+        assert degree_parameter(cycle_graph(5)) == 1
+        assert degree_parameter(star_graph(5)) == 3
+
+    def test_degree_parameter_directed(self):
+        # directed: max out-degree
+        assert degree_parameter(de_bruijn_digraph(2, 3)) == 2
+
+    def test_is_regular(self):
+        assert is_regular(cycle_graph(5))
+        assert not is_regular(star_graph(4))
+
+
+class TestConnectivity:
+    def test_symmetric(self):
+        assert is_symmetric(cycle_graph(4))
+        assert not is_symmetric(de_bruijn_digraph(2, 3))
+
+    def test_strongly_connected_true(self):
+        assert is_strongly_connected(cycle_graph(5))
+
+    def test_strongly_connected_false(self):
+        g = Digraph([0, 1, 2], [(0, 1), (1, 2)])
+        assert not is_strongly_connected(g)
+
+    def test_strongly_connected_needs_reverse_reachability(self):
+        # 0 reaches everything but nothing reaches 0
+        g = Digraph([0, 1, 2], [(0, 1), (0, 2), (1, 2), (2, 1)])
+        assert not is_strongly_connected(g)

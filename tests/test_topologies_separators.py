@@ -1,0 +1,163 @@
+"""Tests for the Lemma 3.1 separator constructions (repro.topologies.separators)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import SeparatorError
+from repro.topologies.butterfly import (
+    butterfly,
+    wrapped_butterfly,
+    wrapped_butterfly_digraph,
+)
+from repro.topologies.classic import path_graph
+from repro.topologies.debruijn import de_bruijn_digraph
+from repro.topologies.kautz import kautz_digraph
+from repro.topologies.separators import (
+    FAMILY_PARAMETERS,
+    Separator,
+    butterfly_separator,
+    de_bruijn_separator,
+    family_parameters,
+    kautz_separator,
+    measure_separator,
+    separator_for,
+    wrapped_butterfly_digraph_separator,
+    wrapped_butterfly_separator,
+)
+
+
+class TestFamilyParameters:
+    def test_all_families_present(self):
+        assert set(FAMILY_PARAMETERS) == {"BF", "WBF_digraph", "WBF", "DB", "K"}
+
+    @pytest.mark.parametrize(
+        "family, d, expected",
+        [
+            ("BF", 2, (0.5, 2.0)),
+            ("WBF_digraph", 2, (0.5, 2.0)),
+            ("WBF", 2, (2.0 / 3.0, 1.5)),
+            ("DB", 2, (1.0, 1.0)),
+            ("K", 2, (1.0, 1.0)),
+            ("DB", 4, (2.0, 0.5)),
+        ],
+    )
+    def test_lemma31_values(self, family, d, expected):
+        alpha, ell = family_parameters(family, d)
+        assert alpha == pytest.approx(expected[0])
+        assert ell == pytest.approx(expected[1])
+
+    def test_alpha_times_ell_at_least_one(self):
+        # The paper notes α·ℓ >= 1 always holds for a valid separator family.
+        for family in FAMILY_PARAMETERS:
+            for d in (2, 3, 4, 5):
+                alpha, ell = family_parameters(family, d)
+                assert alpha * ell >= 1.0 - 1e-12
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(SeparatorError):
+            family_parameters("Hypercube", 2)
+
+    def test_invalid_degree_raises(self):
+        with pytest.raises(SeparatorError):
+            family_parameters("DB", 1)
+
+
+class TestSeparatorDataclass:
+    def test_disjointness_enforced(self):
+        with pytest.raises(SeparatorError):
+            Separator("DB", 1.0, 1.0, ("000",), ("000",))
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(SeparatorError):
+            Separator("DB", 1.0, 1.0, (), ("000",))
+
+    def test_min_size(self):
+        sep = Separator("DB", 1.0, 1.0, ("000", "001"), ("111",))
+        assert sep.min_size() == 1
+
+
+class TestConstructions:
+    def test_butterfly_separator_sets_are_level_zero(self):
+        sep = butterfly_separator(2, 3)
+        assert all(level == 0 for (_x, level) in sep.v1 + sep.v2)
+
+    def test_butterfly_separator_distance(self):
+        g = butterfly(2, 3)
+        sep = butterfly_separator(2, 3)
+        measurement = measure_separator(g, sep)
+        # Lemma 3.1(1): dist = 2D exactly for the butterfly construction.
+        assert measurement.distance == 2 * 3
+        assert measurement.min_size == 2**2  # d^D / 2 strings on the small side
+
+    def test_wbf_digraph_separator_distance(self):
+        g = wrapped_butterfly_digraph(2, 4)
+        sep = wrapped_butterfly_digraph_separator(2, 4)
+        measurement = measure_separator(g, sep)
+        # Lemma 3.1(2): dist = 2D - 1.
+        assert measurement.distance == 2 * 4 - 1
+
+    def test_wbf_undirected_separator_levels(self):
+        sep = wrapped_butterfly_separator(2, 4)
+        assert all(level == 0 for (_x, level) in sep.v1)
+        assert all(level == 2 for (_x, level) in sep.v2)
+
+    def test_wbf_undirected_separator_distance_lower_bounded(self):
+        dim = 4
+        g = wrapped_butterfly(2, dim)
+        sep = wrapped_butterfly_separator(2, dim)
+        measurement = measure_separator(g, sep)
+        # 3D/2 - O(sqrt(D)); on a small instance we only check it clearly
+        # exceeds the D/2 level distance and stays at most 3D/2.
+        assert dim // 2 <= measurement.distance <= 3 * dim // 2 + 1
+
+    def test_de_bruijn_separator_distance_grows_with_dimension(self):
+        small = measure_separator(de_bruijn_digraph(2, 4), de_bruijn_separator(2, 4))
+        large = measure_separator(de_bruijn_digraph(2, 6), de_bruijn_separator(2, 6))
+        assert large.distance > small.distance
+
+    def test_de_bruijn_separator_distance_close_to_dimension(self):
+        dim = 6
+        measurement = measure_separator(
+            de_bruijn_digraph(2, dim), de_bruijn_separator(2, dim)
+        )
+        # D - O(sqrt(D)) <= dist <= D
+        assert dim - 2 * math.isqrt(dim) <= measurement.distance <= dim
+
+    def test_kautz_separator_valid(self):
+        dim = 4
+        measurement = measure_separator(kautz_digraph(2, dim), kautz_separator(2, dim))
+        assert measurement.distance >= dim - 2 * math.isqrt(dim)
+        assert measurement.min_size >= 1
+
+    def test_separator_for_dispatch(self):
+        sep = separator_for("DB", 2, 4)
+        assert sep.family == "DB"
+        with pytest.raises(SeparatorError):
+            separator_for("nope", 2, 4)
+
+    def test_measure_separator_rejects_foreign_vertices(self):
+        sep = de_bruijn_separator(2, 4)
+        with pytest.raises(SeparatorError):
+            measure_separator(path_graph(5), sep)
+
+    def test_measurement_predictions(self):
+        g = de_bruijn_digraph(2, 5)
+        sep = de_bruijn_separator(2, 5)
+        m = measure_separator(g, sep)
+        assert m.predicted_distance == pytest.approx(sep.ell * math.log2(g.n))
+        assert m.predicted_log_size == pytest.approx(sep.alpha * sep.ell * math.log2(g.n))
+        assert m.log_min_size == pytest.approx(math.log2(m.min_size))
+
+    def test_separator_sides_disjoint_all_families(self):
+        for family, d, dim in [
+            ("BF", 2, 3),
+            ("WBF_digraph", 2, 3),
+            ("WBF", 2, 4),
+            ("DB", 2, 5),
+            ("K", 2, 4),
+        ]:
+            sep = separator_for(family, d, dim)
+            assert not set(sep.v1) & set(sep.v2)
