@@ -8,9 +8,13 @@ Usage (after ``pip install -e .``)::
     repro-gossip fig8                 # full-duplex bounds
     repro-gossip structure            # the Fig. 1-3 / Fig. 7 matrices
     repro-gossip sandwich             # certified vs. measured on instances
+    repro-gossip broadcast            # batched multi-source broadcast sweep
     repro-gossip all                  # everything (the EXPERIMENTS.md source)
 
-or equivalently ``python -m repro <command>``.
+or equivalently ``python -m repro <command>``.  Simulation-backed commands
+take ``--engine {auto,reference,vectorized,...}`` to pin the simulation
+backend (the ``REPRO_SIM_ENGINE`` environment variable overrides ``auto``
+globally).
 """
 
 from __future__ import annotations
@@ -19,13 +23,15 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.experiments.broadcast_sweep import broadcast_sweep_table
 from repro.experiments.fig4 import fig4_table
 from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
 from repro.experiments.fig8 import fig8_table
-from repro.experiments.runner import format_table, run_all
+from repro.experiments.runner import BROADCAST_COLUMNS, format_table, run_all
 from repro.experiments.sandwich import sandwich_table
 from repro.experiments.structure import render_matrix, structure_report
+from repro.gossip.engines import AUTO_ENGINE, available_engines
 
 __all__ = ["main", "build_parser"]
 
@@ -51,8 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="periods to unroll when building delay digraphs (default 3)",
     )
-    sub.add_parser("all", help="run every experiment (EXPERIMENTS.md source)")
+    _add_engine_flag(sandwich)
+    broadcast = sub.add_parser(
+        "broadcast", help="batched multi-source broadcast sweep per topology"
+    )
+    _add_engine_flag(broadcast)
+    everything = sub.add_parser("all", help="run every experiment (EXPERIMENTS.md source)")
+    _add_engine_flag(everything)
     return parser
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    """``--engine`` with the registered backends (plus automatic selection)."""
+    parser.add_argument(
+        "--engine",
+        choices=(AUTO_ENGINE, *available_engines()),
+        default=AUTO_ENGINE,
+        help="simulation engine to use (default: auto)",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -126,7 +148,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "sandwich":
         print(
             format_table(
-                sandwich_table(unroll_periods=args.unroll_periods),
+                sandwich_table(unroll_periods=args.unroll_periods, engine=args.engine),
                 [
                     "graph",
                     "n",
@@ -139,8 +161,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ],
             )
         )
+    elif command == "broadcast":
+        print(format_table(broadcast_sweep_table(engine=args.engine), BROADCAST_COLUMNS))
     elif command == "all":
-        print(run_all())
+        print(run_all(engine=args.engine))
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

@@ -12,10 +12,14 @@
   illustrations (Figs. 1–3 and 7).
 * :mod:`repro.experiments.sandwich` — certified lower bounds vs. measured
   gossip times of constructive protocols on concrete instances.
+* :mod:`repro.experiments.broadcast_sweep` — batched multi-source broadcast
+  statistics per topology family (one simulation yields every source's
+  broadcast time), parameterised over the simulation engine.
 * :mod:`repro.experiments.runner` — text-table formatting and an
   "everything" driver used by the CLI and by EXPERIMENTS.md.
 """
 
+from repro.experiments.broadcast_sweep import broadcast_sweep_table
 from repro.experiments.fig4 import fig4_table
 from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
@@ -25,6 +29,7 @@ from repro.experiments.structure import structure_report
 from repro.experiments.runner import format_table, run_all
 
 __all__ = [
+    "broadcast_sweep_table",
     "fig4_table",
     "fig5_table",
     "fig6_table",

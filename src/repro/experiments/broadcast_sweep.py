@@ -1,0 +1,93 @@
+"""Batched multi-source broadcast sweep across the paper's topologies.
+
+For each instance the sweep runs the edge-colouring systolic schedule once
+per mode with per-item completion tracking
+(:func:`repro.gossip.simulation.broadcast_times_all`): a single simulation
+yields the broadcast time of *every* source, instead of one full simulation
+per source.  The maximum over all sources equals the gossip time by
+definition, which the table re-derives independently as a consistency check.
+
+The sweep is both a workload (broadcast spread statistics per family) and an
+engine exerciser: the ``engine`` parameter is threaded through every
+simulation call, so running it under ``engine="reference"`` and
+``engine="vectorized"`` doubles as an end-to-end differential check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gossip.model import Mode
+from repro.gossip.simulation import broadcast_times_all, gossip_time
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.topologies.base import Digraph
+from repro.topologies.butterfly import wrapped_butterfly
+from repro.topologies.classic import cycle_graph, grid_2d, hypercube, path_graph
+from repro.topologies.debruijn import de_bruijn
+from repro.topologies.kautz import kautz
+
+__all__ = ["BroadcastSweepRow", "broadcast_sweep_table", "sweep_instances"]
+
+
+@dataclass(frozen=True)
+class BroadcastSweepRow:
+    """One (instance, mode) line of the broadcast sweep."""
+
+    family: str
+    n: int
+    mode: str
+    period: int
+    gossip_rounds: int
+    broadcast_min: int
+    broadcast_max: int
+    broadcast_mean: float
+    engine: str
+
+    @property
+    def max_matches_gossip(self) -> bool:
+        """Max broadcast time must equal the gossip time (sanity invariant)."""
+        return self.broadcast_max == self.gossip_rounds
+
+
+def sweep_instances() -> list[Digraph]:
+    """The sweep's default instances: one per topology family of the paper."""
+    return [
+        path_graph(16),
+        cycle_graph(16),
+        grid_2d(4, 4),
+        hypercube(4),
+        wrapped_butterfly(2, 3),
+        de_bruijn(2, 4),
+        kautz(2, 3),
+    ]
+
+
+def broadcast_sweep_table(
+    *,
+    engine: str = "auto",
+    instances: list[Digraph] | None = None,
+) -> list[BroadcastSweepRow]:
+    """Broadcast statistics for every instance and both duplex modes."""
+    from repro.gossip.engines import resolve_engine
+
+    resolved = resolve_engine(engine)
+    rows: list[BroadcastSweepRow] = []
+    for graph in instances if instances is not None else sweep_instances():
+        for mode in (Mode.HALF_DUPLEX, Mode.FULL_DUPLEX):
+            schedule = coloring_systolic_schedule(graph, mode)
+            times = broadcast_times_all(schedule, engine=resolved)
+            values = sorted(times.values())
+            rows.append(
+                BroadcastSweepRow(
+                    family=graph.name,
+                    n=graph.n,
+                    mode=mode.value,
+                    period=schedule.period,
+                    gossip_rounds=gossip_time(schedule, engine=resolved),
+                    broadcast_min=values[0],
+                    broadcast_max=values[-1],
+                    broadcast_mean=sum(values) / len(values),
+                    engine=resolved.name,
+                )
+            )
+    return rows

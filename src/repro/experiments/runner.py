@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import asdict, is_dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro.experiments.broadcast_sweep import broadcast_sweep_table
 from repro.experiments.fig4 import fig4_table
 from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
@@ -18,9 +19,23 @@ from repro.experiments.fig8 import fig8_table
 from repro.experiments.sandwich import sandwich_table
 from repro.experiments.structure import render_matrix, structure_report
 
-__all__ = ["format_table", "format_value", "run_all", "EXPERIMENT_NAMES"]
+__all__ = ["format_table", "format_value", "run_all", "EXPERIMENT_NAMES", "BROADCAST_COLUMNS"]
 
-EXPERIMENT_NAMES = ("fig4", "fig5", "fig6", "fig8", "structure", "sandwich")
+EXPERIMENT_NAMES = ("fig4", "fig5", "fig6", "fig8", "structure", "sandwich", "broadcast")
+
+#: Column order of the broadcast-sweep table (shared by the CLI and run_all).
+BROADCAST_COLUMNS = (
+    "family",
+    "n",
+    "mode",
+    "period",
+    "gossip_rounds",
+    "broadcast_min",
+    "broadcast_max",
+    "broadcast_mean",
+    "max_matches_gossip",
+    "engine",
+)
 
 
 def format_value(value: object, *, digits: int = 4) -> str:
@@ -75,8 +90,13 @@ def format_table(
     return "\n".join([header, separator, *body])
 
 
-def run_all(*, include_sandwich: bool = True) -> str:
-    """Run every experiment and return the combined text report."""
+def run_all(*, include_sandwich: bool = True, engine: str = "auto") -> str:
+    """Run every experiment and return the combined text report.
+
+    ``engine`` selects the simulation backend for the simulation-backed
+    sections (the broadcast sweep and the sandwich's measured gossip times);
+    the lower-bound sections are pure arithmetic and take no engine.
+    """
     sections: list[str] = []
 
     sections.append("== FIG4: general systolic lower bound ==")
@@ -147,11 +167,16 @@ def run_all(*, include_sandwich: bool = True) -> str:
     sections.append(f"Lemma 4.3 check: {report.lemma43}")
     sections.append(f"Lemma 6.1 check: {report.lemma61}")
 
+    sections.append("\n== BROADCAST: batched multi-source broadcast sweep ==")
+    sections.append(
+        format_table(broadcast_sweep_table(engine=engine), BROADCAST_COLUMNS)
+    )
+
     if include_sandwich:
         sections.append("\n== SANDWICH: certified lower bounds vs. measured gossip times ==")
         sections.append(
             format_table(
-                sandwich_table(),
+                sandwich_table(engine=engine),
                 [
                     "graph",
                     "n",

@@ -98,12 +98,14 @@ def _analytic_bound(mode: Mode, period: int, n: int) -> tuple[float | None, floa
     return bound.coefficient, bound.lower_bound(n)
 
 
-def sandwich_row(schedule: SystolicSchedule, *, unroll_periods: int = 3) -> SandwichRow:
+def sandwich_row(
+    schedule: SystolicSchedule, *, unroll_periods: int = 3, engine: str = "auto"
+) -> SandwichRow:
     """Build the sandwich comparison for one systolic schedule."""
     certificate = certify_protocol(
         schedule, optimize_lambda=True, unroll_periods=unroll_periods
     )
-    measured = gossip_time(schedule)
+    measured = gossip_time(schedule, engine=engine)
     coefficient, analytic = _analytic_bound(schedule.mode, schedule.period, schedule.graph.n)
     return SandwichRow(
         name=schedule.name,
@@ -121,8 +123,17 @@ def sandwich_row(schedule: SystolicSchedule, *, unroll_periods: int = 3) -> Sand
 
 
 def sandwich_table(
-    instances: list[SystolicSchedule] | None = None, *, unroll_periods: int = 3
+    instances: list[SystolicSchedule] | None = None,
+    *,
+    unroll_periods: int = 3,
+    engine: str = "auto",
 ) -> list[SandwichRow]:
-    """Certified-vs-measured comparison for a battery of instances."""
+    """Certified-vs-measured comparison for a battery of instances.
+
+    ``engine`` selects the simulation backend for the measured gossip times.
+    """
     schedules = default_instances() if instances is None else instances
-    return [sandwich_row(schedule, unroll_periods=unroll_periods) for schedule in schedules]
+    return [
+        sandwich_row(schedule, unroll_periods=unroll_periods, engine=engine)
+        for schedule in schedules
+    ]

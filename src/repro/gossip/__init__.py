@@ -14,6 +14,21 @@ paper:
 The simulator executes protocols round by round on exact knowledge sets and
 reports gossip/broadcast completion times, which the experiments use to
 sandwich the paper's lower bounds with constructive upper bounds.
+
+Simulation engines
+------------------
+Execution is delegated to pluggable backends (:mod:`repro.gossip.engines`):
+the pure-Python ``"reference"`` loop (the semantic oracle) and the
+``"vectorized"`` NumPy kernel, which packs knowledge sets into an
+``(n, ceil(n/64)) uint64`` matrix and applies each round as a bulk
+gather + scatter-OR over precompiled tail/head index arrays.  Every
+simulation entry point takes an ``engine`` keyword (``"auto"`` by default,
+overridable via the ``REPRO_SIM_ENGINE`` environment variable), and both
+backends are held to bit-for-bit agreement by the differential test suite.
+A third backend only needs to implement the
+:class:`~repro.gossip.engines.base.SimulationEngine` protocol and call
+:func:`~repro.gossip.engines.register_engine` — see the subpackage
+docstring for the recipe.
 """
 
 from repro.gossip.model import (
@@ -32,10 +47,18 @@ from repro.gossip.validation import (
 from repro.gossip.simulation import (
     SimulationResult,
     broadcast_time,
+    broadcast_times_all,
     gossip_time,
     is_complete_gossip,
     simulate,
     simulate_systolic,
+)
+from repro.gossip.engines import (
+    SimulationEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
 )
 from repro.gossip.builders import (
     edge_coloring_rounds,
@@ -62,11 +85,17 @@ __all__ = [
     "check_matching",
     "check_full_duplex_pairing",
     "SimulationResult",
+    "SimulationEngine",
     "simulate",
     "simulate_systolic",
     "gossip_time",
     "broadcast_time",
+    "broadcast_times_all",
     "is_complete_gossip",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
     "greedy_edge_coloring",
     "edge_coloring_rounds",
     "half_duplex_rounds_from_coloring",

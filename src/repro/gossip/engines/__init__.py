@@ -1,0 +1,132 @@
+"""Pluggable simulation engines and their registry.
+
+Two backends ship with the library:
+
+* ``"reference"`` — the pure-Python arbitrary-precision-integer loop
+  (:mod:`repro.gossip.engines.reference`), the semantic oracle;
+* ``"vectorized"`` — the packed ``uint64`` NumPy bitset kernel
+  (:mod:`repro.gossip.engines.vectorized`), typically 10-100× faster on
+  instances with thousands of vertices.
+
+Selection
+---------
+Every simulation entry point (:func:`repro.gossip.simulation.simulate` and
+friends) takes an ``engine`` keyword: an engine *name*, an engine
+*instance*, or ``"auto"`` (the default).  ``"auto"`` resolves to the
+vectorized engine (NumPy is a hard dependency of this library, so it is
+always available today; the availability gate exists for future backends
+with genuinely optional dependencies, which ``"auto"`` skips when their
+dependency is missing).  The choice is recorded on
+``SimulationResult.engine_name`` so a fallback can never go unnoticed.
+The ``REPRO_SIM_ENGINE`` environment
+variable overrides ``"auto"`` globally (explicitly named engines win over
+the environment), which lets benchmarks and CI pin a backend without
+threading a flag through every call site.
+
+Adding a third backend
+----------------------
+Implement the :class:`~repro.gossip.engines.base.SimulationEngine` protocol
+(a ``name`` attribute plus a ``run(program, ...)`` method returning a
+:class:`~repro.gossip.engines.base.SimulationResult`), then call
+:func:`register_engine`.  Run ``tests/test_engines_differential.py`` with
+your engine name to certify bit-for-bit agreement with the reference
+engine.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import SimulationError
+from repro.gossip.engines.base import (
+    RoundProgram,
+    SimulationEngine,
+    SimulationResult,
+)
+from repro.gossip.engines.reference import ReferenceEngine
+from repro.gossip.engines.vectorized import VectorizedEngine, numpy_available
+
+__all__ = [
+    "RoundProgram",
+    "SimulationEngine",
+    "SimulationResult",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "ENGINE_ENV_VAR",
+    "AUTO_ENGINE",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "resolve_engine",
+]
+
+#: Environment variable that overrides ``engine="auto"`` globally.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+#: The sentinel name meaning "pick the best available backend".
+AUTO_ENGINE = "auto"
+
+_REGISTRY: dict[str, SimulationEngine] = {}
+
+
+def register_engine(engine: SimulationEngine, *, replace: bool = False) -> SimulationEngine:
+    """Add ``engine`` to the registry under ``engine.name``.
+
+    Registering a name that already exists raises unless ``replace=True``,
+    so a typo cannot silently shadow a shipped backend.
+    """
+    name = engine.name
+    if name == AUTO_ENGINE:
+        raise SimulationError(f"engine name {AUTO_ENGINE!r} is reserved for automatic selection")
+    if name in _REGISTRY and not replace:
+        raise SimulationError(f"an engine named {name!r} is already registered")
+    _REGISTRY[name] = engine
+    return engine
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of the registered engines, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> SimulationEngine:
+    """Look up a registered engine by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation engine {name!r}; available: "
+            f"{', '.join(available_engines()) or '(none)'}"
+        ) from None
+
+
+def _auto_engine() -> SimulationEngine:
+    if numpy_available() and VectorizedEngine.name in _REGISTRY:
+        return _REGISTRY[VectorizedEngine.name]
+    return _REGISTRY[ReferenceEngine.name]
+
+
+def resolve_engine(spec: str | SimulationEngine | None = None) -> SimulationEngine:
+    """Resolve an ``engine=`` argument to a concrete engine instance.
+
+    ``None`` and ``"auto"`` consult the ``REPRO_SIM_ENGINE`` environment
+    variable first and then fall back to automatic selection.  An unknown
+    name — from the argument or the environment — raises
+    :class:`~repro.exceptions.SimulationError` rather than silently running
+    a different backend.
+    """
+    if spec is not None and not isinstance(spec, str):
+        return spec
+    name = spec if spec is not None else AUTO_ENGINE
+    if name == AUTO_ENGINE:
+        override = os.environ.get(ENGINE_ENV_VAR, "").strip()
+        if override:
+            name = override
+    if name == AUTO_ENGINE:
+        return _auto_engine()
+    return get_engine(name)
+
+
+register_engine(ReferenceEngine())
+if numpy_available():
+    register_engine(VectorizedEngine())

@@ -1,0 +1,196 @@
+"""Engine-facing execution model shared by every simulation backend.
+
+A *simulation engine* executes a :class:`RoundProgram` — a digraph plus a
+round sequence (finite, or one period repeated cyclically) — on exact
+knowledge sets and returns a :class:`SimulationResult`.  The program object
+deliberately exposes the round *structure* (the base rounds and whether they
+repeat) rather than an opaque round-supplier callable, so that engines can
+precompile each distinct round once: the vectorized backend turns every base
+round into tail/head index arrays exactly one time regardless of how many
+times the schedule cycles through it.
+
+Engines must agree bit-for-bit: given the same program and options they must
+return identical ``knowledge``, ``completion_round`` and ``coverage_history``
+values.  ``tests/test_engines_differential.py`` enforces this against the
+pure-Python reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import SimulationError
+from repro.gossip.model import GossipProtocol, Round, SystolicSchedule
+from repro.topologies.base import Digraph, Vertex
+
+__all__ = [
+    "RoundProgram",
+    "SimulationResult",
+    "SimulationEngine",
+    "initial_knowledge",
+    "full_mask",
+    "check_initial",
+    "iter_set_bits",
+]
+
+
+def initial_knowledge(n: int) -> list[int]:
+    """The paper's initial state: vertex ``i`` knows exactly its own item."""
+    return [1 << j for j in range(n)]
+
+
+def full_mask(n: int) -> int:
+    """Bitmask with the ``n`` item bits set (the complete-gossip target)."""
+    return (1 << n) - 1
+
+
+def check_initial(initial: list[int], n: int) -> None:
+    """Validate a caller-supplied initial knowledge vector."""
+    if len(initial) != n:
+        raise SimulationError(f"initial knowledge has {len(initial)} entries, expected {n}")
+
+
+def iter_set_bits(bits: int):
+    """Yield the indices of the set bits of a non-negative integer.
+
+    Runs in O(popcount) big-int operations instead of scanning every
+    candidate position, which matters when ``n`` is large and the set is
+    sparse (e.g. early rounds of a broadcast).
+    """
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+@dataclass(frozen=True)
+class RoundProgram:
+    """A digraph plus the round sequence an engine must execute.
+
+    Attributes
+    ----------
+    graph:
+        The network digraph.
+    rounds:
+        The base round sequence.  For a finite protocol this is the full
+        sequence ``⟨A₁, …, A_t⟩``; for a systolic schedule it is the period
+        ``⟨A₁, …, A_s⟩``.
+    cyclic:
+        ``False`` for finite protocols, ``True`` when ``rounds`` repeats
+        cyclically (``A_i = A_{((i-1) mod s) + 1}``).
+    max_rounds:
+        The round budget: engines execute at most this many rounds.
+    """
+
+    graph: Digraph
+    rounds: tuple[Round, ...]
+    cyclic: bool
+    max_rounds: int
+
+    def arcs_at(self, i: int) -> Round:
+        """The arc set active at (1-based) round ``i``."""
+        if self.cyclic:
+            return self.rounds[(i - 1) % len(self.rounds)]
+        return self.rounds[i - 1]
+
+    @classmethod
+    def from_protocol(cls, protocol: GossipProtocol, max_rounds: int | None = None) -> "RoundProgram":
+        """Program for an explicit finite protocol (budget = its length)."""
+        budget = protocol.length if max_rounds is None else min(max_rounds, protocol.length)
+        return cls(protocol.graph, protocol.rounds, cyclic=False, max_rounds=budget)
+
+    @classmethod
+    def from_schedule(cls, schedule: SystolicSchedule, max_rounds: int | None = None) -> "RoundProgram":
+        """Program for a systolic schedule.
+
+        The default budget is generous (``4·s·n``); a correct systolic gossip
+        schedule on a connected graph always terminates well within it, and
+        schedules that cannot complete are reported as incomplete rather than
+        looping forever.
+        """
+        if max_rounds is None:
+            max_rounds = max(4 * schedule.period * schedule.graph.n, 16)
+        return cls(schedule.graph, schedule.base_rounds, cyclic=True, max_rounds=max_rounds)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of running a protocol.
+
+    Attributes
+    ----------
+    graph:
+        The digraph the protocol ran on.
+    rounds_executed:
+        How many rounds were actually executed.
+    completion_round:
+        The smallest number of rounds after which every tracked vertex knew
+        every tracked item, or ``None`` if the run ended before completion.
+    knowledge:
+        Final knowledge bitsets, indexed like ``graph.vertices``.
+    coverage_history:
+        ``coverage_history[i]`` is the total number of (vertex, item) pairs
+        known after ``i`` rounds; entry 0 is the initial ``n`` (each vertex
+        knows its own item).  Empty when history tracking is off.
+    item_completion_rounds:
+        Only populated when the engine was asked to track per-item
+        completion: entry ``j`` is the first round after which *every* vertex
+        knew item ``j`` (i.e. the broadcast time of vertex ``j``'s item under
+        this protocol), or ``None`` if the run ended first.
+    engine_name:
+        Name of the engine that produced this result, so callers can verify
+        which backend actually ran (the ``auto`` selection is never silent).
+    """
+
+    graph: Digraph
+    rounds_executed: int
+    completion_round: int | None
+    knowledge: tuple[int, ...]
+    coverage_history: tuple[int, ...]
+    item_completion_rounds: tuple[int | None, ...] | None = None
+    engine_name: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        """``True`` iff gossip completed within the executed rounds."""
+        return self.completion_round is not None
+
+    def known_items(self, v: Vertex) -> set[int]:
+        """Indices of the items known by vertex ``v`` at the end of the run.
+
+        Iterates over the *set* bits of the knowledge word, so the cost is
+        proportional to the number of known items rather than to ``n``.
+        """
+        return set(iter_set_bits(self.knowledge[self.graph.index(v)]))
+
+
+@runtime_checkable
+class SimulationEngine(Protocol):
+    """What a simulation backend must provide to join the engine registry.
+
+    A third backend (GPU, bit-sliced C extension, distributed, …) only needs
+    a ``name`` attribute and a :meth:`run` method with these exact semantics,
+    plus a ``register_engine`` call — see :mod:`repro.gossip.engines`.
+    """
+
+    name: str
+
+    def run(
+        self,
+        program: RoundProgram,
+        *,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+    ) -> SimulationResult:
+        """Execute ``program`` and return the (engine-tagged) result.
+
+        ``initial`` overrides the each-vertex-knows-itself starting state;
+        ``target_mask`` restricts the completion test to a subset of item
+        bits (used for broadcast times); ``track_history`` records the
+        coverage curve; ``track_item_completion`` records, per item, the
+        first round at which all vertices know it.
+        """
+        ...  # pragma: no cover - protocol definition

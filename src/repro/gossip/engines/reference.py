@@ -1,0 +1,99 @@
+"""Pure-Python reference engine: the semantic oracle.
+
+This is the original simulator loop of :mod:`repro.gossip.simulation`, kept
+as an engine so that every other backend can be differentially tested
+against it.  Knowledge sets are arbitrary-precision Python integers (bit
+``j`` set iff the vertex knows item ``j``); set union is integer OR, which
+gives exact semantics with no dependencies.  It is deliberately simple and
+obviously correct rather than fast — the vectorized engine exists for speed.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from operator import and_
+
+from repro.gossip.engines.base import (
+    RoundProgram,
+    SimulationResult,
+    check_initial,
+    full_mask,
+    initial_knowledge,
+    iter_set_bits,
+)
+
+__all__ = ["ReferenceEngine"]
+
+
+class ReferenceEngine:
+    """Arbitrary-precision-integer bitset loop (one Python iteration per arc)."""
+
+    name = "reference"
+
+    def run(
+        self,
+        program: RoundProgram,
+        *,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+    ) -> SimulationResult:
+        graph = program.graph
+        n = graph.n
+        knowledge = list(initial) if initial is not None else initial_knowledge(n)
+        check_initial(knowledge, n)
+        full = full_mask(n) if target_mask is None else target_mask
+        index = graph.index
+
+        history: list[int] = []
+        if track_history:
+            history.append(sum(bin(k).count("1") for k in knowledge))
+
+        item_rounds: list[int | None] | None = None
+        known_by_all = 0
+        if track_item_completion:
+            item_rounds = [None] * n
+            known_by_all = reduce(and_, knowledge)
+            for j in iter_set_bits(known_by_all):
+                if j < n:
+                    item_rounds[j] = 0
+
+        def is_done() -> bool:
+            return all(k & full == full for k in knowledge)
+
+        completion: int | None = 0 if is_done() else None
+        executed = 0
+        if completion is None:
+            for round_number in range(1, program.max_rounds + 1):
+                arcs = program.arcs_at(round_number)
+                if arcs:
+                    snapshot = knowledge  # reads below use pre-round values
+                    updates: dict[int, int] = {}
+                    for tail, head in arcs:
+                        h = index(head)
+                        updates[h] = updates.get(h, snapshot[h]) | snapshot[index(tail)]
+                    for h, bits in updates.items():
+                        knowledge[h] = bits
+                executed = round_number
+                if track_history:
+                    history.append(sum(bin(k).count("1") for k in knowledge))
+                if item_rounds is not None:
+                    now_known = reduce(and_, knowledge)
+                    for j in iter_set_bits(now_known & ~known_by_all):
+                        if j < n:
+                            item_rounds[j] = round_number
+                    known_by_all = now_known
+                if is_done():
+                    completion = round_number
+                    break
+
+        return SimulationResult(
+            graph=graph,
+            rounds_executed=executed,
+            completion_round=completion,
+            knowledge=tuple(knowledge),
+            coverage_history=tuple(history),
+            item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
+            engine_name=self.name,
+        )

@@ -1,0 +1,390 @@
+"""Vectorized NumPy engine: packed ``uint64`` bitset kernel.
+
+Layout
+------
+Knowledge is a ``(n, W)`` ``uint64`` matrix ``K`` with ``W = ceil(B / 64)``
+words per vertex (``B`` is ``n`` unless a caller-supplied initial state or
+target mask uses higher bits): bit ``j`` of vertex ``i``'s knowledge set
+lives in ``K[i, j // 64]`` at position ``j % 64`` (little-endian word order,
+so row ``i`` reinterpreted as little-endian bytes equals the reference
+engine's Python integer exactly).
+
+Kernel
+------
+Each distinct round is precompiled once into ``(tails, heads)`` ``int64``
+index arrays — for a cyclic (systolic) program this happens once per
+*period*, no matter how many times the schedule repeats.  Applying a round
+is then a bulk gather + scatter-OR::
+
+    vals = K[tails]                    # pre-round snapshot of the senders
+    K[heads] |= vals                   # heads unique (any valid matching)
+    np.bitwise_or.at(K, heads, vals)   # unbuffered fallback otherwise
+
+Gathering ``vals`` before the scatter preserves the paper's snapshot
+semantics (all arcs of a round act simultaneously on the pre-round state)
+even for structurally invalid rounds where a head also appears as a tail.
+
+Completion detection
+--------------------
+When no per-round history is requested, rounds are executed in batches of
+doubling size (capped): the completion test — an O(n·W) comparison against
+the target mask — runs once per batch, and when a batch ends complete the
+engine rolls back to the saved pre-batch state and replays it round by
+round to pin down the *exact* completion round.  This keeps the steady-state
+per-round cost at a single gather/scatter pair, which is what makes the
+engine an order of magnitude faster than the reference loop on instances
+with thousands of vertices.  Coverage counts use the hardware popcount
+(``np.bitwise_count``).
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
+    np = None  # type: ignore[assignment] - "auto" then resolves to the reference engine
+
+from repro.gossip.engines.base import (
+    RoundProgram,
+    SimulationResult,
+    check_initial,
+    full_mask,
+    initial_knowledge,
+    iter_set_bits,
+)
+from repro.gossip.model import Round
+from repro.topologies.base import Digraph
+
+__all__ = ["VectorizedEngine", "numpy_available"]
+
+_WORD_BITS = 64
+_WORD_BYTES = 8
+
+#: Largest batch of rounds executed between two completion checks.
+_BATCH_CAP = 128
+
+
+def numpy_available() -> bool:
+    """``True`` iff the vectorized engine can run in this environment.
+
+    NumPy (>= 2.0, for ``np.bitwise_count``) is a hard dependency of the
+    wider library today, so this effectively always holds; the gate is kept
+    so ``"auto"`` selection degrades gracefully in stripped-down
+    environments and documents the pattern for backends with genuinely
+    optional dependencies.
+    """
+    return np is not None and hasattr(np, "bitwise_count")
+
+
+def _pack_int(value: int, words: int) -> np.ndarray:
+    """Pack a non-negative Python integer into ``words`` little-endian uint64s."""
+    return np.frombuffer(value.to_bytes(words * _WORD_BYTES, "little"), dtype="<u8").copy()
+
+
+def _unpack_words(row: np.ndarray) -> int:
+    """One little-endian uint64 array back into a Python integer."""
+    return int.from_bytes(np.ascontiguousarray(row, dtype="<u8").tobytes(), "little")
+
+
+def _unpack_rows(matrix: np.ndarray) -> tuple[int, ...]:
+    """Reverse of :func:`_pack_int`, one Python integer per row."""
+    rows, words = matrix.shape
+    data = np.ascontiguousarray(matrix, dtype="<u8").tobytes()
+    stride = words * _WORD_BYTES
+    return tuple(
+        int.from_bytes(data[i * stride : (i + 1) * stride], "little") for i in range(rows)
+    )
+
+
+def _popcount_total(matrix: np.ndarray) -> int:
+    """Total number of set bits in the knowledge matrix."""
+    return int(np.bitwise_count(matrix).sum())
+
+
+_SEGMENT_LIMIT = 32
+
+
+def _ap_segments(
+    tails: np.ndarray, heads: np.ndarray
+) -> list[tuple[slice | np.ndarray, slice]] | None:
+    """Decompose a head-sorted round into a few arithmetic-progression runs.
+
+    Rounds produced by edge colourings of regular topologies (cycles, paths,
+    grids) activate arcs at fixed strides, except for a handful of wrap-around
+    arcs.  Each returned ``(tail_part, head_slice)`` segment is applied as a
+    strided-view ufunc (``tail_part`` degrades to an index array only when the
+    run's tails are not an increasing progression), which runs at streaming
+    memory bandwidth instead of paying gather/scatter costs.  Returns ``None``
+    when the round is irregular (more than ``_SEGMENT_LIMIT`` runs), in which
+    case the caller falls back to the generic gather path.  Segments may share
+    a boundary arc; re-applying an arc is a no-op because set union is
+    idempotent and the round's rows are vertex-disjoint.
+    """
+    m = len(heads)
+    if m == 1:
+        return [(tails.copy(), slice(int(heads[0]), int(heads[0]) + 1))]
+    dh = np.diff(heads)
+    dt = np.diff(tails)
+    run_starts_arr = np.flatnonzero((dh[1:] != dh[:-1]) | (dt[1:] != dt[:-1])) + 1
+    if run_starts_arr.size + 1 > _SEGMENT_LIMIT:
+        return None
+    run_starts = [0, *run_starts_arr.tolist()]
+    run_ends = [*(s - 1 for s in run_starts_arr.tolist()), m - 2]
+    segments: list[tuple[slice | np.ndarray, slice]] = []
+    for first_diff, last_diff in zip(run_starts, run_ends):
+        first_arc, last_arc = first_diff, last_diff + 1
+        step_h = int(dh[first_diff])
+        step_t = int(dt[first_diff])
+        head_slice = slice(int(heads[first_arc]), int(heads[last_arc]) + 1, step_h)
+        if step_t > 0:
+            tail_part: slice | np.ndarray = slice(
+                int(tails[first_arc]), int(tails[last_arc]) + 1, step_t
+            )
+        else:
+            tail_part = tails[first_arc : last_arc + 1].copy()
+        segments.append((tail_part, head_slice))
+    return segments
+
+
+def _row_permutation(graph: Digraph, rounds: tuple[Round, ...]) -> tuple[np.ndarray, np.ndarray]:
+    """Internal row order making the first round's receivers contiguous.
+
+    The engine is free to store vertex rows in any order (item *columns* are
+    untouched, so masks, popcounts and per-item tracking are unaffected).
+    Grouping the non-heads of the first non-empty round before its heads
+    turns the matching rounds of cycle/path-like colourings into operations
+    on two contiguous row blocks, which run at streaming memory bandwidth
+    instead of paying a ~5× strided-access penalty.
+
+    Returns ``(new_to_old, old_to_new)`` index arrays.
+    """
+    n = graph.n
+    is_head = np.zeros(n, dtype=bool)
+    for arcs in rounds:
+        if arcs:
+            for _, h in arcs:
+                is_head[graph.index(h)] = True
+            break
+    new_to_old = np.argsort(is_head, kind="stable")  # non-heads first, both in index order
+    old_to_new = np.empty(n, dtype=np.int64)
+    old_to_new[new_to_old] = np.arange(n, dtype=np.int64)
+    return new_to_old, old_to_new
+
+
+def _compile_round(
+    graph: Digraph, arcs: Round, old_to_new: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, bool, list[tuple[slice | np.ndarray, slice]] | None]:
+    """Precompile a round: index arrays plus the fast-path metadata.
+
+    Indices are expressed in the engine's internal (permuted) row order.
+    Returns ``(tails, heads, disjoint, segments)`` where ``disjoint`` means
+    no vertex is both a head and a tail and every head is distinct — true for
+    every valid matching — which licenses in-place application without a
+    pre-round snapshot copy, and ``segments`` is the strided decomposition of
+    :func:`_ap_segments` (``None`` for irregular rounds).
+    """
+    index = graph.index
+    m = len(arcs)
+    tails = old_to_new[
+        np.fromiter((index(t) for t, _ in arcs), dtype=np.int64, count=m)
+    ]
+    heads = old_to_new[
+        np.fromiter((index(h) for _, h in arcs), dtype=np.int64, count=m)
+    ]
+    if m > 1:
+        # Arcs within a round commute (each head ORs the pre-round snapshots
+        # of its tails), so sorting by head index is semantics-preserving and
+        # exposes the strided structure of regular topologies' rounds.
+        order = np.argsort(heads, kind="stable")
+        heads = heads[order]
+        tails = tails[order]
+    head_set = set(heads.tolist())
+    disjoint = len(head_set) == m and not head_set.intersection(tails.tolist())
+    segments = _ap_segments(tails, heads) if disjoint and m else None
+    return tails, heads, disjoint, segments
+
+
+def _apply_round(
+    knowledge: np.ndarray,
+    compiled: tuple[np.ndarray, np.ndarray, bool, list[tuple[slice | np.ndarray, slice]] | None],
+) -> None:
+    """One round: bulk OR of the senders' rows into the receivers' rows."""
+    tails, heads, disjoint, segments = compiled
+    if not tails.size:
+        return
+    if disjoint:
+        # Rows are vertex-disjoint (any valid matching), so the elementwise
+        # update cannot observe this round's own writes: slice segments index
+        # as copy-free views, and only irregular rounds pay for a gather.
+        if segments is not None:
+            for tail_part, head_slice in segments:
+                targets = knowledge[head_slice]
+                sources = (
+                    knowledge[tail_part]
+                    if isinstance(tail_part, slice)
+                    else knowledge.take(tail_part, axis=0)
+                )
+                np.bitwise_or(targets, sources, out=targets)
+        else:
+            knowledge[heads] |= knowledge.take(tails, axis=0)
+    else:
+        # A head also appears as a tail (or twice as a head): gather the
+        # pre-round snapshot first and use the unbuffered scatter so the
+        # paper's all-arcs-act-simultaneously semantics is preserved.
+        np.bitwise_or.at(knowledge, heads, knowledge.take(tails, axis=0))
+
+
+def _is_complete(knowledge: np.ndarray, mask: np.ndarray) -> bool:
+    """Does every row contain every bit of ``mask``?"""
+    return bool(np.all((knowledge & mask) == mask))
+
+
+class VectorizedEngine:
+    """Bulk gather/scatter over a packed ``(n, ceil(n/64)) uint64`` matrix."""
+
+    name = "vectorized"
+
+    def run(
+        self,
+        program: RoundProgram,
+        *,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+    ) -> SimulationResult:
+        graph = program.graph
+        n = graph.n
+        start = list(initial) if initial is not None else initial_knowledge(n)
+        check_initial(start, n)
+        full = full_mask(n) if target_mask is None else target_mask
+
+        # Word width: enough for the n item bits, widened if a caller-supplied
+        # initial state or target mask carries higher bits.
+        max_bits = max([n, full.bit_length(), *(v.bit_length() for v in start)])
+        words = max(1, (max_bits + _WORD_BITS - 1) // _WORD_BITS)
+
+        # Rows live in an internal permuted order chosen for memory locality;
+        # item bit columns keep the public vertex indexing throughout.
+        new_to_old, old_to_new = _row_permutation(graph, program.rounds)
+        knowledge = np.empty((n, words), dtype=np.uint64)
+        for i, value in enumerate(start):
+            knowledge[old_to_new[i]] = _pack_int(value, words)
+        mask = _pack_int(full, words)
+
+        compiled = [_compile_round(graph, arcs, old_to_new) for arcs in program.rounds]
+
+        def compiled_at(round_number: int):
+            if program.cyclic:
+                return compiled[(round_number - 1) % len(compiled)]
+            return compiled[round_number - 1]
+
+        history: list[int] = []
+        item_rounds: list[int | None] | None = None
+        if track_item_completion:
+            item_rounds = [None] * n
+
+        if track_history or item_rounds is not None or not compiled:
+            knowledge, executed, completion = self._run_tracked(
+                program, compiled_at, knowledge, mask, history, item_rounds,
+                track_history=track_history,
+            )
+        else:
+            knowledge, executed, completion = self._run_fast(
+                program, compiled_at, knowledge, mask
+            )
+
+        return SimulationResult(
+            graph=graph,
+            rounds_executed=executed,
+            completion_round=completion,
+            knowledge=_unpack_rows(knowledge[old_to_new]),
+            coverage_history=tuple(history),
+            item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
+            engine_name=self.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_tracked(
+        self,
+        program: RoundProgram,
+        compiled_at,
+        knowledge: np.ndarray,
+        mask: np.ndarray,
+        history: list[int],
+        item_rounds: list[int | None] | None,
+        *,
+        track_history: bool,
+    ) -> tuple[np.ndarray, int, int | None]:
+        """Round-by-round loop recording coverage and/or per-item completion."""
+        n = program.graph.n
+        if track_history:
+            history.append(_popcount_total(knowledge))
+
+        known_by_all = np.zeros(knowledge.shape[1], dtype=np.uint64)
+        if item_rounds is not None:
+            known_by_all = np.bitwise_and.reduce(knowledge, axis=0)
+            for j in iter_set_bits(_unpack_words(known_by_all)):
+                if j < n:
+                    item_rounds[j] = 0
+
+        completion: int | None = 0 if _is_complete(knowledge, mask) else None
+        executed = 0
+        if completion is None:
+            has_rounds = bool(program.rounds)
+            for round_number in range(1, program.max_rounds + 1):
+                if has_rounds:
+                    _apply_round(knowledge, compiled_at(round_number))
+                executed = round_number
+                if track_history:
+                    history.append(_popcount_total(knowledge))
+                if item_rounds is not None:
+                    now_known = np.bitwise_and.reduce(knowledge, axis=0)
+                    fresh = now_known & ~known_by_all
+                    if fresh.any():
+                        for j in iter_set_bits(_unpack_words(fresh)):
+                            if j < n:
+                                item_rounds[j] = round_number
+                    known_by_all = now_known
+                if _is_complete(knowledge, mask):
+                    completion = round_number
+                    break
+        return knowledge, executed, completion
+
+    def _run_fast(
+        self,
+        program: RoundProgram,
+        compiled_at,
+        knowledge: np.ndarray,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, int, int | None]:
+        """Batched loop: completion checked per batch, replayed for exactness.
+
+        Executes rounds in batches of doubling size (capped at
+        ``_BATCH_CAP``).  When a batch ends with the target reached, the
+        engine restores the saved pre-batch state and replays that batch
+        round by round to find the exact completion round, so results are
+        indistinguishable from the reference engine's.
+        """
+        if _is_complete(knowledge, mask):
+            return knowledge, 0, 0
+
+        max_rounds = program.max_rounds
+        executed = 0
+        batch = 1
+        while executed < max_rounds:
+            size = min(batch, max_rounds - executed)
+            saved = knowledge.copy()
+            for offset in range(1, size + 1):
+                _apply_round(knowledge, compiled_at(executed + offset))
+            if _is_complete(knowledge, mask):
+                # Roll back and replay to pin down the exact round.
+                knowledge = saved
+                for offset in range(1, size + 1):
+                    _apply_round(knowledge, compiled_at(executed + offset))
+                    if _is_complete(knowledge, mask):
+                        executed += offset
+                        return knowledge, executed, executed
+            executed += size
+            batch = min(batch * 2, _BATCH_CAP)
+        return knowledge, executed, None

@@ -1,25 +1,43 @@
-"""Round-based dissemination simulator.
+"""Round-based dissemination simulator, dispatching to pluggable engines.
 
-Knowledge sets are represented exactly: vertex ``v``'s knowledge is a Python
-integer whose bit ``j`` is set iff ``v`` knows the item originating at the
-vertex with index ``j``.  Arbitrary-precision integers give O(n/64)-word set
-unions with no external dependencies and no approximation, and are fast
-enough for every instance used in the tests, examples and benchmarks
-(``n`` up to a few times ``10⁵``).
+Knowledge sets are represented exactly: vertex ``v``'s knowledge is a bitset
+whose bit ``j`` is set iff ``v`` knows the item originating at the vertex
+with index ``j``.  The semantics follow Section 3 of the paper: if arc
+``(x, y)`` is active at round ``i`` then at the beginning of round ``i + 1``
+vertex ``y`` additionally knows everything ``x`` knew at the beginning of
+round ``i``.  All arcs of a round act simultaneously on the same snapshot.
 
-The semantics follow Section 3 of the paper: if arc ``(x, y)`` is active at
-round ``i`` then at the beginning of round ``i + 1`` vertex ``y``
-additionally knows everything ``x`` knew at the beginning of round ``i``.
-All arcs of a round act simultaneously on the same snapshot.
+Engine registry
+---------------
+The actual execution is delegated to a *simulation engine* selected by the
+``engine`` keyword accepted by every function here:
+
+* ``"reference"`` — the original pure-Python loop over arbitrary-precision
+  integers (one Python iteration per arc per round); the semantic oracle.
+* ``"vectorized"`` — a NumPy kernel that packs the knowledge sets into an
+  ``(n, ceil(n/64)) uint64`` matrix, precompiles each round's arc list into
+  tail/head index arrays once per period, and applies rounds as bulk
+  gather + scatter-OR operations with hardware-popcount coverage tracking.
+* ``"auto"`` (default) — the fastest registered backend whose dependencies
+  are available (today: always the vectorized engine, since NumPy is a hard
+  dependency of this library); overridable globally via the
+  ``REPRO_SIM_ENGINE`` environment variable.
+
+Both backends return bit-for-bit identical results (enforced by
+``tests/test_engines_differential.py``).  New backends implement the
+:class:`~repro.gossip.engines.base.SimulationEngine` protocol and join via
+:func:`repro.gossip.engines.register_engine`; see
+:mod:`repro.gossip.engines` for the packed bitset layout and the
+differential-certification workflow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.exceptions import SimulationError
-from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
-from repro.topologies.base import Digraph, Vertex
+from repro.gossip.engines import SimulationEngine, resolve_engine
+from repro.gossip.engines.base import RoundProgram, SimulationResult
+from repro.gossip.model import GossipProtocol, SystolicSchedule
+from repro.topologies.base import Vertex
 
 __all__ = [
     "SimulationResult",
@@ -27,116 +45,20 @@ __all__ = [
     "simulate_systolic",
     "gossip_time",
     "broadcast_time",
+    "broadcast_times_all",
     "is_complete_gossip",
     "knowledge_counts",
 ]
 
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Outcome of running a protocol.
-
-    Attributes
-    ----------
-    graph:
-        The digraph the protocol ran on.
-    rounds_executed:
-        How many rounds were actually executed.
-    completion_round:
-        The smallest number of rounds after which every tracked vertex knew
-        every tracked item, or ``None`` if the run ended before completion.
-    knowledge:
-        Final knowledge bitsets, indexed like ``graph.vertices``.
-    coverage_history:
-        ``coverage_history[i]`` is the total number of (vertex, item) pairs
-        known after ``i`` rounds; entry 0 is the initial ``n`` (each vertex
-        knows its own item).
-    """
-
-    graph: Digraph
-    rounds_executed: int
-    completion_round: int | None
-    knowledge: tuple[int, ...]
-    coverage_history: tuple[int, ...]
-
-    @property
-    def complete(self) -> bool:
-        """``True`` iff gossip completed within the executed rounds."""
-        return self.completion_round is not None
-
-    def known_items(self, v: Vertex) -> set[int]:
-        """Indices of the items known by vertex ``v`` at the end of the run."""
-        bits = self.knowledge[self.graph.index(v)]
-        return {j for j in range(self.graph.n) if bits >> j & 1}
-
-
-def _initial_knowledge(n: int) -> list[int]:
-    return [1 << j for j in range(n)]
-
-
-def _full_mask(n: int) -> int:
-    return (1 << n) - 1
-
-
-def _execute(
-    graph: Digraph,
-    round_supplier,
-    max_rounds: int,
+def simulate(
+    protocol: GossipProtocol,
     *,
-    initial: list[int] | None = None,
-    target_mask: int | None = None,
     track_history: bool = True,
+    engine: str | SimulationEngine | None = "auto",
 ) -> SimulationResult:
-    """Shared execution loop for explicit protocols and systolic schedules."""
-    n = graph.n
-    knowledge = list(initial) if initial is not None else _initial_knowledge(n)
-    if len(knowledge) != n:
-        raise SimulationError(f"initial knowledge has {len(knowledge)} entries, expected {n}")
-    full = _full_mask(n) if target_mask is None else target_mask
-    index = graph.index
-
-    history: list[int] = []
-    if track_history:
-        history.append(sum(bin(k).count("1") for k in knowledge))
-
-    def is_done() -> bool:
-        return all(k & full == full for k in knowledge)
-
-    completion: int | None = 0 if is_done() else None
-    executed = 0
-    if completion is None:
-        for round_number in range(1, max_rounds + 1):
-            arcs = round_supplier(round_number)
-            if arcs:
-                snapshot = knowledge  # reads below use pre-round values
-                updates: dict[int, int] = {}
-                for tail, head in arcs:
-                    h = index(head)
-                    updates[h] = updates.get(h, snapshot[h]) | snapshot[index(tail)]
-                for h, bits in updates.items():
-                    knowledge[h] = bits
-            executed = round_number
-            if track_history:
-                history.append(sum(bin(k).count("1") for k in knowledge))
-            if is_done():
-                completion = round_number
-                break
-
-    return SimulationResult(
-        graph=graph,
-        rounds_executed=executed,
-        completion_round=completion,
-        knowledge=tuple(knowledge),
-        coverage_history=tuple(history),
-    )
-
-
-def simulate(protocol: GossipProtocol, *, track_history: bool = True) -> SimulationResult:
     """Run an explicit protocol to its end (or until gossip completes earlier)."""
-    return _execute(
-        protocol.graph,
-        protocol.round,
-        protocol.length,
+    return resolve_engine(engine).run(
+        RoundProgram.from_protocol(protocol),
         track_history=track_history,
     )
 
@@ -146,6 +68,7 @@ def simulate_systolic(
     *,
     max_rounds: int | None = None,
     track_history: bool = False,
+    engine: str | SimulationEngine | None = "auto",
 ) -> SimulationResult:
     """Repeat a systolic schedule until gossip completes (or ``max_rounds`` elapse).
 
@@ -155,30 +78,36 @@ def simulate_systolic(
     activate some arc direction) are reported as incomplete rather than
     looping forever.
     """
-    n = schedule.graph.n
-    budget = max_rounds if max_rounds is not None else max(4 * schedule.period * n, 16)
-    return _execute(
-        schedule.graph,
-        schedule.round,
-        budget,
+    return resolve_engine(engine).run(
+        RoundProgram.from_schedule(schedule, max_rounds),
         track_history=track_history,
     )
 
 
-def gossip_time(protocol_or_schedule, *, max_rounds: int | None = None) -> int:
+def _program_for(protocol_or_schedule, max_rounds: int | None) -> RoundProgram:
+    """Normalise either protocol flavour into a :class:`RoundProgram`."""
+    if isinstance(protocol_or_schedule, SystolicSchedule):
+        return RoundProgram.from_schedule(protocol_or_schedule, max_rounds)
+    if isinstance(protocol_or_schedule, GossipProtocol):
+        return RoundProgram.from_protocol(protocol_or_schedule, max_rounds)
+    raise SimulationError(
+        f"expected GossipProtocol or SystolicSchedule, got {type(protocol_or_schedule)!r}"
+    )
+
+
+def gossip_time(
+    protocol_or_schedule,
+    *,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> int:
     """Number of rounds the protocol needs to complete gossip.
 
     Raises :class:`SimulationError` if gossip does not complete, so callers
     can rely on the returned value being a genuine completion time.
     """
-    if isinstance(protocol_or_schedule, SystolicSchedule):
-        result = simulate_systolic(protocol_or_schedule, max_rounds=max_rounds)
-    elif isinstance(protocol_or_schedule, GossipProtocol):
-        result = simulate(protocol_or_schedule, track_history=False)
-    else:
-        raise SimulationError(
-            f"expected GossipProtocol or SystolicSchedule, got {type(protocol_or_schedule)!r}"
-        )
+    program = _program_for(protocol_or_schedule, max_rounds)
+    result = resolve_engine(engine).run(program, track_history=False)
     if result.completion_round is None:
         raise SimulationError(
             f"gossip did not complete within {result.rounds_executed} rounds"
@@ -191,27 +120,13 @@ def broadcast_time(
     source: Vertex,
     *,
     max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
 ) -> int:
     """Rounds needed for the item of ``source`` to reach every vertex."""
-    if isinstance(protocol_or_schedule, SystolicSchedule):
-        schedule = protocol_or_schedule
-        graph = schedule.graph
-        supplier = schedule.round
-        budget = max_rounds if max_rounds is not None else max(4 * schedule.period * graph.n, 16)
-    elif isinstance(protocol_or_schedule, GossipProtocol):
-        protocol = protocol_or_schedule
-        graph = protocol.graph
-        supplier = protocol.round
-        budget = protocol.length if max_rounds is None else min(max_rounds, protocol.length)
-    else:
-        raise SimulationError(
-            f"expected GossipProtocol or SystolicSchedule, got {type(protocol_or_schedule)!r}"
-        )
-    source_bit = 1 << graph.index(source)
-    result = _execute(
-        graph,
-        supplier,
-        budget,
+    program = _program_for(protocol_or_schedule, max_rounds)
+    source_bit = 1 << program.graph.index(source)
+    result = resolve_engine(engine).run(
+        program,
         target_mask=source_bit,
         track_history=False,
     )
@@ -222,9 +137,48 @@ def broadcast_time(
     return result.completion_round
 
 
-def is_complete_gossip(protocol: GossipProtocol) -> bool:
+def broadcast_times_all(
+    protocol_or_schedule,
+    *,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> dict[Vertex, int]:
+    """Broadcast time of *every* source, from one batched simulation.
+
+    Runs the full gossip simulation once with per-item completion tracking:
+    the broadcast time of vertex ``v`` is the first round after which every
+    vertex knows ``v``'s item.  This costs one simulation instead of ``n``
+    (one :func:`broadcast_time` call per source) and the maximum over all
+    sources equals :func:`gossip_time` by definition.
+
+    Raises :class:`SimulationError` if any item fails to reach every vertex
+    within the round budget.
+    """
+    program = _program_for(protocol_or_schedule, max_rounds)
+    result = resolve_engine(engine).run(
+        program,
+        track_history=False,
+        track_item_completion=True,
+    )
+    rounds = result.item_completion_rounds
+    assert rounds is not None  # engines always honour track_item_completion
+    missing = [j for j, r in enumerate(rounds) if r is None]
+    if missing:
+        raise SimulationError(
+            f"broadcast of {len(missing)} item(s) (first: vertex "
+            f"{program.graph.vertex(missing[0])!r}) did not complete within "
+            f"{result.rounds_executed} rounds"
+        )
+    return {program.graph.vertex(j): r for j, r in enumerate(rounds)}
+
+
+def is_complete_gossip(
+    protocol: GossipProtocol,
+    *,
+    engine: str | SimulationEngine | None = "auto",
+) -> bool:
     """``True`` iff the protocol completes gossip within its own length."""
-    return simulate(protocol, track_history=False).complete
+    return simulate(protocol, track_history=False, engine=engine).complete
 
 
 def knowledge_counts(result: SimulationResult) -> list[int]:

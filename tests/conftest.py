@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    """Register custom markers (no pytest.ini/pyproject pytest section exists)."""
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test (excluded in CI's default run via -m 'not slow')",
+    )
+
 from repro.gossip.model import Mode
 from repro.protocols.complete import complete_graph_schedule
 from repro.protocols.cycle import cycle_systolic_schedule

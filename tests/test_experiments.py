@@ -207,12 +207,47 @@ class TestRunnerAndCli:
         assert "FIG8" in report
         assert "2.8808" in report
 
-    @pytest.mark.parametrize("command", ["fig4", "fig5", "fig6", "fig8", "structure"])
+    @pytest.mark.parametrize("command", ["fig4", "fig5", "fig6", "fig8", "structure", "broadcast"])
     def test_cli_commands(self, command, capsys):
         assert main([command]) == 0
         captured = capsys.readouterr()
         assert captured.out.strip()
 
+    def test_cli_broadcast_engine_flag(self, capsys):
+        assert main(["broadcast", "--engine", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out
+        assert "vectorized" not in out
+
+    def test_cli_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["broadcast", "--engine", "warp-drive"])
+
     def test_cli_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBroadcastSweep:
+    def test_rows_cover_every_family_and_mode(self):
+        from repro.experiments.broadcast_sweep import broadcast_sweep_table, sweep_instances
+
+        rows = broadcast_sweep_table()
+        assert len(rows) == 2 * len(sweep_instances())
+        assert {row.mode for row in rows} == {"half-duplex", "full-duplex"}
+
+    def test_max_broadcast_equals_gossip_time(self):
+        from repro.experiments.broadcast_sweep import broadcast_sweep_table
+
+        for row in broadcast_sweep_table():
+            assert row.max_matches_gossip, row
+            assert row.broadcast_min <= row.broadcast_mean <= row.broadcast_max
+
+    def test_engines_produce_identical_tables(self):
+        from dataclasses import replace
+
+        from repro.experiments.broadcast_sweep import broadcast_sweep_table
+
+        ref = broadcast_sweep_table(engine="reference")
+        vec = broadcast_sweep_table(engine="vectorized")
+        assert [replace(r, engine="x") for r in ref] == [replace(r, engine="x") for r in vec]

@@ -160,3 +160,45 @@ class TestIsCompleteGossip:
     def test_false_case(self):
         g = path_graph(2)
         assert not is_complete_gossip(GossipProtocol(g, [[(0, 1)]]))
+
+
+class TestKnownItemsBitIteration:
+    """Regression tests for known_items: it iterates over *set* bits.
+
+    The original implementation scanned all of ``range(n)`` per call, which
+    is quadratic over a full sweep on large sparse knowledge sets; the fix
+    walks only the set bits (O(popcount) per call).
+    """
+
+    def test_sparse_knowledge_on_large_graph(self):
+        from repro.gossip.simulation import SimulationResult
+
+        n = 50_000
+        g = path_graph(n)
+        bits = (1 << 0) | (1 << 31337) | (1 << (n - 1))
+        knowledge = tuple(
+            bits if i == 0 else 1 << i for i in range(n)
+        )
+        result = SimulationResult(
+            graph=g,
+            rounds_executed=0,
+            completion_round=None,
+            knowledge=knowledge,
+            coverage_history=(),
+        )
+        assert result.known_items(0) == {0, 31337, n - 1}
+        assert result.known_items(n - 1) == {n - 1}
+
+    def test_all_bits_set(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)], [(1, 2)], [(2, 3)]])
+        result = simulate(protocol)
+        assert result.known_items(3) == {0, 1, 2, 3}
+
+    def test_matches_per_index_scan(self):
+        schedule = path_systolic_schedule(6, Mode.HALF_DUPLEX)
+        result = simulate(schedule.unroll(4))
+        for v in range(6):
+            bits = result.knowledge[v]
+            expected = {j for j in range(6) if bits >> j & 1}
+            assert result.known_items(v) == expected

@@ -10,7 +10,10 @@ schedules at the machinery and check the inequalities the paper proves:
 * delay-matrix norms of arbitrary valid half-duplex schedules stay below the
   analytic bound at the analytic root;
 * the simulator's knowledge sets only ever grow, and gossip completion is
-  monotone under appending rounds.
+  monotone under appending rounds;
+* the vectorized engine agrees with the reference engine on random digraphs
+  and random schedules, its knowledge sets are monotone, every vertex always
+  knows its own item, and gossip time is invariant under vertex relabeling.
 """
 
 from __future__ import annotations
@@ -35,9 +38,10 @@ from repro.core.reduction import (
 )
 from repro.core.roots import solve_unit_root
 from repro.gossip.builders import random_systolic_schedule
-from repro.gossip.model import Mode
-from repro.gossip.simulation import simulate
+from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
+from repro.gossip.simulation import simulate, simulate_systolic
 from repro.gossip.validation import validate_protocol
+from repro.topologies.base import Digraph
 from repro.topologies.classic import cycle_graph
 from repro.topologies.debruijn import de_bruijn
 
@@ -87,6 +91,7 @@ class TestPolynomialProperties:
             assert norm_bound_product(left, s - left, lam) <= balanced + 1e-10
 
     @given(st.integers(min_value=3, max_value=12))
+    @settings(deadline=None)
     def test_characteristic_root_in_unit_interval(self, s):
         lam = solve_unit_root(lambda x: half_duplex_norm_bound(s, x))
         assert 0.0 < lam < 1.0
@@ -183,6 +188,22 @@ class TestRandomScheduleProperties:
         assert all(a <= b for a, b in zip(history, history[1:]))
         assert history[0] == n
 
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_engines_agree_on_random_schedules(self, n, period, seed):
+        graph = cycle_graph(n)
+        schedule = random_systolic_schedule(graph, period, Mode.HALF_DUPLEX, seed=seed)
+        budget = 3 * period
+        ref = simulate_systolic(schedule, max_rounds=budget, track_history=True, engine="reference")
+        vec = simulate_systolic(schedule, max_rounds=budget, track_history=True, engine="vectorized")
+        assert ref.knowledge == vec.knowledge
+        assert ref.completion_round == vec.completion_round
+        assert ref.coverage_history == vec.coverage_history
+
     @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=10**6))
     @settings(max_examples=20, deadline=None)
     def test_delay_norm_below_analytic_bound_at_root(self, period, seed):
@@ -204,3 +225,86 @@ class TestRandomScheduleProperties:
         delay = DelayDigraph(schedule.unroll(2 * period), period=period)
         full = euclidean_norm(delay.delay_matrix(lam))
         assert math.isclose(delay.norm(lam), full, rel_tol=1e-8, abs_tol=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# vectorized engine on random digraphs and random directed schedules
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def random_directed_protocols(draw):
+    """A random digraph plus a random (not necessarily matching) protocol."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    possible = [(i, j) for i in range(n) for j in range(n) if i != j]
+    arcs = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    graph = Digraph(range(n), arcs, name=f"rand({n})")
+    num_rounds = draw(st.integers(min_value=1, max_value=6))
+    rounds = [
+        draw(st.lists(st.sampled_from(arcs), max_size=min(len(arcs), 8), unique=True))
+        for _ in range(num_rounds)
+    ]
+    return GossipProtocol(graph, rounds, mode=Mode.DIRECTED)
+
+
+class TestVectorizedEngineProperties:
+    @given(random_directed_protocols())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_on_random_digraphs(self, protocol):
+        ref = simulate(protocol, engine="reference")
+        vec = simulate(protocol, engine="vectorized")
+        assert ref.knowledge == vec.knowledge
+        assert ref.completion_round == vec.completion_round
+        assert ref.coverage_history == vec.coverage_history
+
+    @given(random_directed_protocols())
+    @settings(max_examples=30, deadline=None)
+    def test_knowledge_monotone_and_self_item_always_known(self, protocol):
+        n = protocol.graph.n
+        previous = [1 << i for i in range(n)]
+        for t in range(protocol.length + 1):
+            result = simulate(protocol.truncate(t), engine="vectorized")
+            for i in range(n):
+                bits = result.knowledge[i]
+                assert bits >> i & 1, f"vertex {i} forgot its own item"
+                assert bits & previous[i] == previous[i], "knowledge set shrank"
+            previous = list(result.knowledge)
+            history = result.coverage_history
+            assert all(a <= b for a, b in zip(history, history[1:]))
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gossip_time_invariant_under_vertex_relabeling(self, n, period, seed, rng):
+        graph = cycle_graph(n)
+        schedule = random_systolic_schedule(graph, period, Mode.HALF_DUPLEX, seed=seed)
+        mapping = list(range(n))
+        rng.shuffle(mapping)
+        relabeled_graph = Digraph(
+            range(n),
+            [(mapping[t], mapping[h]) for t, h in graph.arcs],
+            name=f"{graph.name}-relabeled",
+        )
+        relabeled = SystolicSchedule(
+            relabeled_graph,
+            [
+                [(mapping[t], mapping[h]) for t, h in rnd]
+                for rnd in schedule.base_rounds
+            ],
+            mode=Mode.HALF_DUPLEX,
+        )
+        budget = 4 * period * n
+        original = simulate_systolic(schedule, max_rounds=budget, engine="vectorized")
+        permuted = simulate_systolic(relabeled, max_rounds=budget, engine="vectorized")
+        # Either both complete in the same round (gossip_time invariance) or
+        # neither completes within the shared budget.
+        assert original.completion_round == permuted.completion_round
+        if original.complete:
+            assert set(original.knowledge) == {(1 << n) - 1}
+            assert set(permuted.knowledge) == {(1 << n) - 1}
