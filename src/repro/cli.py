@@ -12,9 +12,10 @@ Usage (after ``pip install -e .``)::
     repro-gossip all                  # everything (the EXPERIMENTS.md source)
 
 or equivalently ``python -m repro <command>``.  Simulation-backed commands
-take ``--engine {auto,reference,vectorized,...}`` to pin the simulation
-backend (the ``REPRO_SIM_ENGINE`` environment variable overrides ``auto``
-globally).
+take ``--engine {auto,frontier,reference,vectorized,...}`` to pin the
+simulation backend (the ``REPRO_SIM_ENGINE`` environment variable overrides
+``auto`` globally); the choices are drawn live from the engine registry, so
+newly registered backends appear automatically.
 """
 
 from __future__ import annotations

@@ -18,17 +18,21 @@ sandwich the paper's lower bounds with constructive upper bounds.
 Simulation engines
 ------------------
 Execution is delegated to pluggable backends (:mod:`repro.gossip.engines`):
-the pure-Python ``"reference"`` loop (the semantic oracle) and the
+the pure-Python ``"reference"`` loop (the semantic oracle), the
 ``"vectorized"`` NumPy kernel, which packs knowledge sets into an
-``(n, ceil(n/64)) uint64`` matrix and applies each round as a bulk
-gather + scatter-OR over precompiled tail/head index arrays.  Every
+``(n, ceil(n/64)) uint64`` matrix and applies each round as an L2-tiled
+bulk gather + scatter-OR over precompiled tail/head index arrays, and the
+``"frontier"`` engine, which transmits only the newly-learned
+(vertex, item) pairs of each round — the fastest backend for periodic
+schedules on sparse topologies.  Every
 simulation entry point takes an ``engine`` keyword (``"auto"`` by default,
-overridable via the ``REPRO_SIM_ENGINE`` environment variable), and both
-backends are held to bit-for-bit agreement by the differential test suite.
-A third backend only needs to implement the
+overridable via the ``REPRO_SIM_ENGINE`` environment variable), and all
+backends are held to bit-for-bit agreement by the differential and
+randomized fuzz suites.
+A further backend only needs to implement the
 :class:`~repro.gossip.engines.base.SimulationEngine` protocol and call
 :func:`~repro.gossip.engines.register_engine` — see the subpackage
-docstring for the recipe.
+docstring for the recipe and the ``"auto"`` selection heuristics.
 """
 
 from repro.gossip.model import (
@@ -69,7 +73,9 @@ from repro.gossip.builders import (
 )
 from repro.gossip.analysis import (
     activation_counts,
+    all_arrival_times,
     arrival_times,
+    eccentricities,
     local_activation_sequence,
     protocol_summary,
 )
@@ -102,7 +108,9 @@ __all__ = [
     "full_duplex_rounds_from_coloring",
     "random_systolic_schedule",
     "activation_counts",
+    "all_arrival_times",
     "arrival_times",
+    "eccentricities",
     "local_activation_sequence",
     "protocol_summary",
 ]

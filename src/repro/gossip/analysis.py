@@ -5,6 +5,13 @@ machinery takes: locally at a vertex, an s-systolic half-duplex protocol is a
 periodic word over {left activation, right activation, idle} (Section 4), and
 globally the interesting quantities are which arcs are exercised, how often,
 and when each item first arrives at each vertex.
+
+Every simulation-backed helper here runs exactly **one** engine pass.  The
+arrival/eccentricity analyses used to be per-source workloads (one
+simulation per source vertex); they now batch through a single tracked run
+(``track_arrivals`` / ``track_item_completion``) and take an ``engine=``
+keyword, so any registered backend — including the frontier engine, which
+maintains arrivals incrementally — can serve them.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.exceptions import SimulationError
+from repro.gossip.engines import SimulationEngine, resolve_engine
 from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
 from repro.topologies.base import Arc, Digraph, Vertex
 
@@ -23,6 +31,8 @@ __all__ = [
     "local_activation_sequence",
     "activation_counts",
     "arrival_times",
+    "all_arrival_times",
+    "eccentricities",
     "protocol_summary",
 ]
 
@@ -90,33 +100,140 @@ def activation_counts(protocol: GossipProtocol) -> Counter:
     return counts
 
 
-def arrival_times(protocol: GossipProtocol, source: Vertex) -> dict[Vertex, int]:
+def _tracked_run(
+    protocol_or_schedule,
+    max_rounds: int | None,
+    engine: str | SimulationEngine | None,
+    **track,
+):
+    """One engine pass over either protocol flavour with tracking enabled."""
+    from repro.gossip.simulation import _program_for
+
+    program = _program_for(protocol_or_schedule, max_rounds)
+    return program, resolve_engine(engine).run(program, track_history=False, **track)
+
+
+def arrival_times(
+    protocol_or_schedule,
+    source: Vertex,
+    *,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> dict[Vertex, int]:
     """First round after which each vertex knows the item of ``source``.
 
     The source itself maps to 0.  Vertices the item never reaches are absent
     from the result, so callers can detect incomplete broadcasts.
+
+    The computation is a single engine run seeded with *only* the source's
+    item (knowledge dynamics are bitwise-parallel, so one item's spread is
+    independent of the others), stopping as soon as the item has reached
+    every vertex.  Accepts a :class:`GossipProtocol` or a
+    :class:`SystolicSchedule`; for a finite protocol the round budget is its
+    length, matching the historical pure-Python scan.
     """
-    graph = protocol.graph
+    graph = protocol_or_schedule.graph
     if not graph.has_vertex(source):
         raise SimulationError(f"unknown source vertex {source!r}")
-    informed: dict[Vertex, int] = {source: 0}
-    for round_number, round_arcs in enumerate(protocol.rounds, start=1):
-        newly: list[Vertex] = []
-        for tail, head in round_arcs:
-            if tail in informed and head not in informed:
-                newly.append(head)
-        for head in newly:
-            informed[head] = round_number
-    return informed
+    source_index = graph.index(source)
+    source_bit = 1 << source_index
+    _, result = _tracked_run(
+        protocol_or_schedule,
+        max_rounds,
+        engine,
+        initial=[source_bit if i == source_index else 0 for i in range(graph.n)],
+        target_mask=source_bit,
+        track_arrivals=True,
+    )
+    assert result.arrival_rounds is not None
+    return {
+        graph.vertex(i): row[source_index]
+        for i, row in enumerate(result.arrival_rounds)
+        if row[source_index] is not None
+    }
 
 
-def protocol_summary(protocol: GossipProtocol) -> dict[str, object]:
-    """A compact structural summary used by reports and examples."""
+def all_arrival_times(
+    protocol_or_schedule,
+    *,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> dict[Vertex, dict[Vertex, int]]:
+    """Arrival times of *every* source's item, from one batched simulation.
+
+    ``result[source][vertex]`` is the first round after which ``vertex``
+    knows the item of ``source`` (0 for the source itself); vertices an item
+    never reaches are absent from its inner mapping.  One tracked engine run
+    replaces the ``n`` per-source :func:`arrival_times` sweeps.
+    """
+    graph = protocol_or_schedule.graph
+    _, result = _tracked_run(
+        protocol_or_schedule, max_rounds, engine, track_arrivals=True
+    )
+    assert result.arrival_rounds is not None
+    times: dict[Vertex, dict[Vertex, int]] = {
+        graph.vertex(j): {} for j in range(graph.n)
+    }
+    for i, row in enumerate(result.arrival_rounds):
+        vertex = graph.vertex(i)
+        for j, round_number in enumerate(row):
+            if round_number is not None:
+                times[graph.vertex(j)][vertex] = round_number
+    return times
+
+
+def eccentricities(
+    protocol_or_schedule,
+    *,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> dict[Vertex, int | None]:
+    """Broadcast eccentricity of every vertex under the protocol.
+
+    The eccentricity of ``v`` is the first round after which *every* vertex
+    knows ``v``'s item — its broadcast time, and the protocol analogue of
+    graph eccentricity.  ``None`` marks vertices whose item never reaches
+    everyone within the round budget (unlike
+    :func:`repro.gossip.simulation.broadcast_times_all` this does not
+    raise, so incomplete protocols can still be profiled).  All values come
+    from one per-item-tracked engine run.
+    """
+    graph = protocol_or_schedule.graph
+    _, result = _tracked_run(
+        protocol_or_schedule, max_rounds, engine, track_item_completion=True
+    )
+    assert result.item_completion_rounds is not None
+    return {
+        graph.vertex(j): round_number
+        for j, round_number in enumerate(result.item_completion_rounds)
+    }
+
+
+def protocol_summary(
+    protocol: GossipProtocol,
+    *,
+    engine: str | SimulationEngine | None = "auto",
+) -> dict[str, object]:
+    """A compact structural + behavioural summary used by reports and examples.
+
+    The structural fields are pure bookkeeping; the behavioural fields
+    (``gossip_rounds`` and the per-source ``broadcast_times``) come from a
+    **single** per-item-tracked simulation instead of one simulation per
+    source vertex.  Sources whose item does not reach every vertex within
+    the protocol's length map to ``None``, and ``gossip_rounds`` is ``None``
+    when the protocol does not complete gossip.
+    """
     counts = activation_counts(protocol)
     total_activations = sum(counts.values())
     rounds = protocol.length
     n = protocol.graph.n
     idle_slots = rounds * n - 2 * total_activations
+    _, result = _tracked_run(protocol, None, engine, track_item_completion=True)
+    assert result.item_completion_rounds is not None
+    broadcast_times = {
+        protocol.graph.vertex(j): round_number
+        for j, round_number in enumerate(result.item_completion_rounds)
+    }
     return {
         "name": protocol.name,
         "graph": protocol.graph.name,
@@ -128,4 +245,6 @@ def protocol_summary(protocol: GossipProtocol) -> dict[str, object]:
         "total_activations": total_activations,
         "mean_activations_per_round": (total_activations / rounds) if rounds else 0.0,
         "idle_vertex_rounds": idle_slots,
+        "gossip_rounds": result.completion_round,
+        "broadcast_times": broadcast_times,
     }

@@ -1,36 +1,60 @@
 """Pluggable simulation engines and their registry.
 
-Two backends ship with the library:
+Three backends ship with the library:
 
 * ``"reference"`` — the pure-Python arbitrary-precision-integer loop
   (:mod:`repro.gossip.engines.reference`), the semantic oracle;
 * ``"vectorized"`` — the packed ``uint64`` NumPy bitset kernel
-  (:mod:`repro.gossip.engines.vectorized`), typically 10-100× faster on
-  instances with thousands of vertices.
+  (:mod:`repro.gossip.engines.vectorized`), with L2-tiled gather/scatter;
+  typically 10-100× faster than the reference on instances with thousands
+  of vertices;
+* ``"frontier"`` — the sparse frontier-propagation engine
+  (:mod:`repro.gossip.engines.frontier`), which transmits only
+  newly-learned (vertex, item) pairs each round.
 
 Selection
 ---------
 Every simulation entry point (:func:`repro.gossip.simulation.simulate` and
 friends) takes an ``engine`` keyword: an engine *name*, an engine
-*instance*, or ``"auto"`` (the default).  ``"auto"`` resolves to the
-vectorized engine (NumPy is a hard dependency of this library, so it is
-always available today; the availability gate exists for future backends
-with genuinely optional dependencies, which ``"auto"`` skips when their
-dependency is missing).  The choice is recorded on
+*instance*, or ``"auto"`` (the default).  The choice is recorded on
 ``SimulationResult.engine_name`` so a fallback can never go unnoticed.
 The ``REPRO_SIM_ENGINE`` environment
 variable overrides ``"auto"`` globally (explicitly named engines win over
 the environment), which lets benchmarks and CI pin a backend without
 threading a flag through every call site.
 
-Adding a third backend
-----------------------
+``"auto"`` heuristics: automatic selection happens *before* the engine
+sees the program (``resolve_engine`` has no program argument), so it picks
+the backend with the best worst-case profile — the vectorized kernel,
+whose dense gather/scatter is never pathological.  Pick explicitly when
+the workload shape is known:
+
+* **vectorized** — the safe default; best on dense topologies (complete
+  graphs, hypercubes, expanders) and on finite/aperiodic protocols, where
+  per-round frontiers are thick and dense bit-parallel ORs win.
+* **frontier** — best on *periodic* (systolic) schedules over sparse
+  bounded-degree topologies (cycles, paths, grids, trees) at large ``n``,
+  where per round only a thin frontier is new: total work is
+  O(period · n²) pair operations versus the dense kernel's
+  O(rounds · n²/64) words, which crosses over once the gossip time grows
+  with ``n`` (n ≳ 2048 on cycles).  Also the cheapest way to compute
+  arrival matrices (``track_arrivals``), which it maintains incrementally.
+* **reference** — differential oracle and tiny instances; never fast.
+
+The availability gate (``numpy_available``) exists for backends with
+genuinely optional dependencies, which ``"auto"`` skips when their
+dependency is missing.
+
+Adding a fourth backend
+-----------------------
 Implement the :class:`~repro.gossip.engines.base.SimulationEngine` protocol
 (a ``name`` attribute plus a ``run(program, ...)`` method returning a
 :class:`~repro.gossip.engines.base.SimulationResult`), then call
-:func:`register_engine`.  Run ``tests/test_engines_differential.py`` with
-your engine name to certify bit-for-bit agreement with the reference
-engine.
+:func:`register_engine`.  Run ``tests/test_engines_differential.py`` and
+the randomized fuzz suite ``tests/test_engines_fuzz.py`` with your engine
+registered to certify bit-for-bit agreement with the reference engine —
+both suites iterate over the registry, so new backends get coverage for
+free.
 """
 
 from __future__ import annotations
@@ -43,6 +67,7 @@ from repro.gossip.engines.base import (
     SimulationEngine,
     SimulationResult,
 )
+from repro.gossip.engines.frontier import FrontierEngine
 from repro.gossip.engines.reference import ReferenceEngine
 from repro.gossip.engines.vectorized import VectorizedEngine, numpy_available
 
@@ -52,6 +77,7 @@ __all__ = [
     "SimulationResult",
     "ReferenceEngine",
     "VectorizedEngine",
+    "FrontierEngine",
     "ENGINE_ENV_VAR",
     "AUTO_ENGINE",
     "register_engine",
@@ -130,3 +156,4 @@ def resolve_engine(spec: str | SimulationEngine | None = None) -> SimulationEngi
 register_engine(ReferenceEngine())
 if numpy_available():
     register_engine(VectorizedEngine())
+    register_engine(FrontierEngine())

@@ -1,0 +1,121 @@
+"""Packed-bitset utilities shared by the NumPy-backed engines.
+
+Both the vectorized and the frontier engine store knowledge as an
+``(n, W) uint64`` matrix in little-endian word order (bit ``j`` of a row
+lives in word ``j // 64`` at position ``j % 64``), so that a row
+reinterpreted as little-endian bytes equals the reference engine's Python
+integer exactly.  The helpers here convert between that layout and Python
+integers, expand packed words into bit coordinates, and format arrival
+matrices — any future packed-bitset backend should build on them rather
+than reaching into another engine's internals.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
+    np = None  # type: ignore[assignment] - "auto" then resolves to the reference engine
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_BYTES",
+    "WORD_SHIFT",
+    "WORD_MASK",
+    "BIT_LUT",
+    "numpy_available",
+    "pack_int",
+    "unpack_words",
+    "unpack_rows",
+    "popcount_total",
+    "unpack_bits",
+    "set_bit_positions",
+    "arrival_tuples",
+]
+
+WORD_BITS = 64
+WORD_BYTES = 8
+WORD_SHIFT = 6  # log2(64): item -> packed word
+WORD_MASK = 63
+
+#: ``BIT_LUT[k] == 1 << k`` — bit masks without per-call shift dtype casts.
+BIT_LUT = None if np is None else (np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64))
+
+
+def numpy_available() -> bool:
+    """``True`` iff the packed-bitset engines can run in this environment.
+
+    NumPy (>= 2.0, for ``np.bitwise_count``) is a hard dependency of the
+    wider library today, so this effectively always holds; the gate is kept
+    so ``"auto"`` selection degrades gracefully in stripped-down
+    environments and documents the pattern for backends with genuinely
+    optional dependencies.
+    """
+    return np is not None and hasattr(np, "bitwise_count")
+
+
+def pack_int(value: int, words: int) -> np.ndarray:
+    """Pack a non-negative Python integer into ``words`` little-endian uint64s."""
+    return np.frombuffer(value.to_bytes(words * WORD_BYTES, "little"), dtype="<u8").copy()
+
+
+def unpack_words(row: np.ndarray) -> int:
+    """One little-endian uint64 array back into a Python integer."""
+    return int.from_bytes(np.ascontiguousarray(row, dtype="<u8").tobytes(), "little")
+
+
+def unpack_rows(matrix: np.ndarray) -> tuple[int, ...]:
+    """Reverse of :func:`pack_int`, one Python integer per row."""
+    rows, words = matrix.shape
+    data = np.ascontiguousarray(matrix, dtype="<u8").tobytes()
+    stride = words * WORD_BYTES
+    return tuple(
+        int.from_bytes(data[i * stride : (i + 1) * stride], "little") for i in range(rows)
+    )
+
+
+def popcount_total(matrix: np.ndarray) -> int:
+    """Total number of set bits in the knowledge matrix."""
+    return int(np.bitwise_count(matrix).sum())
+
+
+def unpack_bits(matrix: np.ndarray) -> np.ndarray:
+    """Expand a packed ``(rows, W) uint64`` matrix into ``(rows, W·64)`` bits."""
+    rows, words = matrix.shape
+    return np.unpackbits(
+        np.ascontiguousarray(matrix, dtype="<u8").view(np.uint8).reshape(rows, words * WORD_BYTES),
+        axis=1,
+        bitorder="little",
+    )
+
+
+def set_bit_positions(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(row, bit) coordinates of every set bit of a packed uint64 matrix.
+
+    Scans at word granularity first and expands only the nonzero words, so
+    the cost is O(rows·W) words + O(set words · 64) rather than allocating
+    the full (rows, W·64) unpacked bit matrix.
+    """
+    rows_w, cols_w = np.nonzero(matrix)
+    if rows_w.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    words = matrix[rows_w, cols_w]
+    bits = (words[:, None] & BIT_LUT[None, :]) != 0
+    flat = np.nonzero(bits)
+    return rows_w[flat[0]], cols_w[flat[0]] * WORD_BITS + flat[1]
+
+
+def arrival_tuples(arrivals: np.ndarray) -> tuple[tuple[int | None, ...], ...]:
+    """An ``-1``-for-missing arrival matrix as the result's nested tuples.
+
+    Completed runs have no missing entries, so the common case converts at
+    C speed and only runs the per-element ``None`` substitution when some
+    item genuinely never arrived.
+    """
+    data = arrivals.tolist()
+    if int(arrivals.min(initial=0)) >= 0:
+        return tuple(map(tuple, data))
+    return tuple(
+        tuple(x if x >= 0 else None for x in row) for row in data
+    )

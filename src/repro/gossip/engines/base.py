@@ -138,6 +138,13 @@ class SimulationResult:
         completion: entry ``j`` is the first round after which *every* vertex
         knew item ``j`` (i.e. the broadcast time of vertex ``j``'s item under
         this protocol), or ``None`` if the run ended first.
+    arrival_rounds:
+        Only populated when the engine was asked to track arrivals: entry
+        ``[i][j]`` is the first round after which vertex ``i`` knew item
+        ``j`` (0 for items known initially), or ``None`` if the item never
+        arrived within the executed rounds.  Like item tracking, only the
+        ``n`` vertex-originated items are covered; higher bits of a
+        caller-supplied initial state are ignored.
     engine_name:
         Name of the engine that produced this result, so callers can verify
         which backend actually ran (the ``auto`` selection is never silent).
@@ -149,6 +156,7 @@ class SimulationResult:
     knowledge: tuple[int, ...]
     coverage_history: tuple[int, ...]
     item_completion_rounds: tuple[int | None, ...] | None = None
+    arrival_rounds: tuple[tuple[int | None, ...], ...] | None = None
     engine_name: str | None = None
 
     @property
@@ -184,6 +192,7 @@ class SimulationEngine(Protocol):
         target_mask: int | None = None,
         track_history: bool = True,
         track_item_completion: bool = False,
+        track_arrivals: bool = False,
     ) -> SimulationResult:
         """Execute ``program`` and return the (engine-tagged) result.
 
@@ -191,6 +200,8 @@ class SimulationEngine(Protocol):
         ``target_mask`` restricts the completion test to a subset of item
         bits (used for broadcast times); ``track_history`` records the
         coverage curve; ``track_item_completion`` records, per item, the
-        first round at which all vertices know it.
+        first round at which all vertices know it; ``track_arrivals``
+        records the full (vertex, item) first-arrival matrix, which batches
+        every per-source arrival/eccentricity analysis into one run.
         """
         ...  # pragma: no cover - protocol definition

@@ -38,6 +38,7 @@ class ReferenceEngine:
         target_mask: int | None = None,
         track_history: bool = True,
         track_item_completion: bool = False,
+        track_arrivals: bool = False,
     ) -> SimulationResult:
         graph = program.graph
         n = graph.n
@@ -59,6 +60,14 @@ class ReferenceEngine:
                 if j < n:
                     item_rounds[j] = 0
 
+        arrivals: list[list[int | None]] | None = None
+        if track_arrivals:
+            arrivals = [[None] * n for _ in range(n)]
+            for v, bits in enumerate(knowledge):
+                for j in iter_set_bits(bits):
+                    if j < n:
+                        arrivals[v][j] = 0
+
         def is_done() -> bool:
             return all(k & full == full for k in knowledge)
 
@@ -74,6 +83,10 @@ class ReferenceEngine:
                         h = index(head)
                         updates[h] = updates.get(h, snapshot[h]) | snapshot[index(tail)]
                     for h, bits in updates.items():
+                        if arrivals is not None:
+                            for j in iter_set_bits(bits & ~knowledge[h]):
+                                if j < n:
+                                    arrivals[h][j] = round_number
                         knowledge[h] = bits
                 executed = round_number
                 if track_history:
@@ -95,5 +108,6 @@ class ReferenceEngine:
             knowledge=tuple(knowledge),
             coverage_history=tuple(history),
             item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
+            arrival_rounds=None if arrivals is None else tuple(tuple(row) for row in arrivals),
             engine_name=self.name,
         )

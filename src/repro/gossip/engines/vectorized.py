@@ -24,6 +24,21 @@ Gathering ``vals`` before the scatter preserves the paper's snapshot
 semantics (all arcs of a round act simultaneously on the pre-round state)
 even for structurally invalid rounds where a head also appears as a tail.
 
+Tiling
+------
+Above n ≈ 4096 the knowledge matrix exceeds L2 and the kernel becomes
+DRAM-bandwidth-bound.  The irregular-round gather path therefore processes
+arcs in *row tiles* sized from the packed row width so that one tile's
+gather temporary plus its target rows fit the L2 budget
+(``_TILE_TARGET_BYTES``); the completion test is chunked the same way, which
+additionally lets it exit at the first incomplete row instead of scanning
+the whole matrix.  The strided-segment fast path stays untiled (it operates
+on copy-free views and allocates no temporary), and the non-disjoint
+snapshot path must stay untiled for correctness: a later tile's gather would
+observe an earlier tile's writes.  Pass ``VectorizedEngine(tile_bytes=None)``
+to disable tiling (used by the perf regression guard to compare against the
+untiled kernel).
+
 Completion detection
 --------------------
 When no per-round history is requested, rounds are executed in batches of
@@ -52,54 +67,29 @@ from repro.gossip.engines.base import (
     initial_knowledge,
     iter_set_bits,
 )
+from repro.gossip.engines._bitops import (
+    WORD_BITS as _WORD_BITS,
+    WORD_BYTES as _WORD_BYTES,
+    arrival_tuples as _arrival_tuples,
+    numpy_available,
+    pack_int as _pack_int,
+    popcount_total as _popcount_total,
+    set_bit_positions as _set_bit_positions,
+    unpack_rows as _unpack_rows,
+    unpack_words as _unpack_words,
+)
 from repro.gossip.model import Round
 from repro.topologies.base import Digraph
 
 __all__ = ["VectorizedEngine", "numpy_available"]
 
-_WORD_BITS = 64
-_WORD_BYTES = 8
-
 #: Largest batch of rounds executed between two completion checks.
 _BATCH_CAP = 128
 
-
-def numpy_available() -> bool:
-    """``True`` iff the vectorized engine can run in this environment.
-
-    NumPy (>= 2.0, for ``np.bitwise_count``) is a hard dependency of the
-    wider library today, so this effectively always holds; the gate is kept
-    so ``"auto"`` selection degrades gracefully in stripped-down
-    environments and documents the pattern for backends with genuinely
-    optional dependencies.
-    """
-    return np is not None and hasattr(np, "bitwise_count")
-
-
-def _pack_int(value: int, words: int) -> np.ndarray:
-    """Pack a non-negative Python integer into ``words`` little-endian uint64s."""
-    return np.frombuffer(value.to_bytes(words * _WORD_BYTES, "little"), dtype="<u8").copy()
-
-
-def _unpack_words(row: np.ndarray) -> int:
-    """One little-endian uint64 array back into a Python integer."""
-    return int.from_bytes(np.ascontiguousarray(row, dtype="<u8").tobytes(), "little")
-
-
-def _unpack_rows(matrix: np.ndarray) -> tuple[int, ...]:
-    """Reverse of :func:`_pack_int`, one Python integer per row."""
-    rows, words = matrix.shape
-    data = np.ascontiguousarray(matrix, dtype="<u8").tobytes()
-    stride = words * _WORD_BYTES
-    return tuple(
-        int.from_bytes(data[i * stride : (i + 1) * stride], "little") for i in range(rows)
-    )
-
-
-def _popcount_total(matrix: np.ndarray) -> int:
-    """Total number of set bits in the knowledge matrix."""
-    return int(np.bitwise_count(matrix).sum())
-
+#: Cache budget one row tile should fit in (a conservative L2 size).  The
+#: row count of a tile is derived from the packed row width: gather source
+#: tile + target rows ≈ 2 resident copies per tile.
+_TILE_TARGET_BYTES = 1 << 20
 
 _SEGMENT_LIMIT = 32
 
@@ -207,6 +197,7 @@ def _compile_round(
 def _apply_round(
     knowledge: np.ndarray,
     compiled: tuple[np.ndarray, np.ndarray, bool, list[tuple[slice | np.ndarray, slice]] | None],
+    tile_rows: int | None = None,
 ) -> None:
     """One round: bulk OR of the senders' rows into the receivers' rows."""
     tails, heads, disjoint, segments = compiled
@@ -225,24 +216,61 @@ def _apply_round(
                     else knowledge.take(tail_part, axis=0)
                 )
                 np.bitwise_or(targets, sources, out=targets)
+        elif tile_rows is not None and len(heads) > tile_rows:
+            # Irregular round on a large instance: bound the gather temporary
+            # to one L2-sized tile so the gathered rows are ORed into their
+            # targets while still cache-resident.  Disjointness makes tile
+            # order irrelevant (no head row aliases any tail row).
+            for start in range(0, len(heads), tile_rows):
+                stop = start + tile_rows
+                knowledge[heads[start:stop]] |= knowledge.take(tails[start:stop], axis=0)
         else:
             knowledge[heads] |= knowledge.take(tails, axis=0)
     else:
         # A head also appears as a tail (or twice as a head): gather the
         # pre-round snapshot first and use the unbuffered scatter so the
-        # paper's all-arcs-act-simultaneously semantics is preserved.
+        # paper's all-arcs-act-simultaneously semantics is preserved.  This
+        # path must NOT be tiled: a later tile's gather would observe an
+        # earlier tile's writes and break the snapshot semantics.
         np.bitwise_or.at(knowledge, heads, knowledge.take(tails, axis=0))
 
 
-def _is_complete(knowledge: np.ndarray, mask: np.ndarray) -> bool:
-    """Does every row contain every bit of ``mask``?"""
-    return bool(np.all((knowledge & mask) == mask))
+def _is_complete(knowledge: np.ndarray, mask: np.ndarray, tile_rows: int | None = None) -> bool:
+    """Does every row contain every bit of ``mask``?
+
+    With ``tile_rows`` the scan is chunked, which keeps each comparison
+    temporary inside L2 and — more importantly on incomplete states, which
+    is every check but the last — returns at the first incomplete chunk
+    instead of touching the whole matrix.
+    """
+    if tile_rows is None or knowledge.shape[0] <= tile_rows:
+        return bool(np.all((knowledge & mask) == mask))
+    for start in range(0, knowledge.shape[0], tile_rows):
+        block = knowledge[start : start + tile_rows]
+        if not np.all((block & mask) == mask):
+            return False
+    return True
 
 
 class VectorizedEngine:
-    """Bulk gather/scatter over a packed ``(n, ceil(n/64)) uint64`` matrix."""
+    """Bulk gather/scatter over a packed ``(n, ceil(n/64)) uint64`` matrix.
+
+    ``tile_bytes`` is the L2 budget the irregular-round gather path and the
+    completion scan are blocked to (``None`` disables tiling entirely and
+    reproduces the untiled kernel, which the perf regression guard compares
+    against).
+    """
 
     name = "vectorized"
+
+    def __init__(self, *, tile_bytes: int | None = _TILE_TARGET_BYTES) -> None:
+        self._tile_bytes = tile_bytes
+
+    def _tile_rows(self, words: int) -> int | None:
+        """Rows per tile so gather temp + target rows fit the L2 budget."""
+        if self._tile_bytes is None:
+            return None
+        return max(32, self._tile_bytes // (2 * words * _WORD_BYTES))
 
     def run(
         self,
@@ -252,6 +280,7 @@ class VectorizedEngine:
         target_mask: int | None = None,
         track_history: bool = True,
         track_item_completion: bool = False,
+        track_arrivals: bool = False,
     ) -> SimulationResult:
         graph = program.graph
         n = graph.n
@@ -284,14 +313,36 @@ class VectorizedEngine:
         if track_item_completion:
             item_rounds = [None] * n
 
-        if track_history or item_rounds is not None or not compiled:
+        arrivals: np.ndarray | None = None
+        receivers: list[np.ndarray | None] | None = None
+        if track_arrivals:
+            # First-arrival matrix in the engine's internal row order; item
+            # columns keep public indexing (only the n vertex items count).
+            arrivals = np.full((n, n), -1, dtype=np.int64)
+            rows, cols = _set_bit_positions(knowledge)
+            vertex_items = cols < n
+            arrivals[rows[vertex_items], cols[vertex_items]] = 0
+            # Each round can only change its receiver rows; resolve them once
+            # per distinct compiled round, not once per executed round.
+            receivers = [
+                np.unique(c[1]) if c[1].size else None for c in compiled
+            ]
+
+        def receivers_at(round_number: int):
+            if program.cyclic:
+                return receivers[(round_number - 1) % len(receivers)]
+            return receivers[round_number - 1]
+
+        tile_rows = self._tile_rows(words)
+        if track_history or item_rounds is not None or arrivals is not None or not compiled:
             knowledge, executed, completion = self._run_tracked(
-                program, compiled_at, knowledge, mask, history, item_rounds,
-                track_history=track_history,
+                program, compiled_at, receivers_at, knowledge, mask, history,
+                item_rounds, arrivals,
+                track_history=track_history, tile_rows=tile_rows,
             )
         else:
             knowledge, executed, completion = self._run_fast(
-                program, compiled_at, knowledge, mask
+                program, compiled_at, knowledge, mask, tile_rows=tile_rows
             )
 
         return SimulationResult(
@@ -301,6 +352,7 @@ class VectorizedEngine:
             knowledge=_unpack_rows(knowledge[old_to_new]),
             coverage_history=tuple(history),
             item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
+            arrival_rounds=None if arrivals is None else _arrival_tuples(arrivals[old_to_new]),
             engine_name=self.name,
         )
 
@@ -309,14 +361,17 @@ class VectorizedEngine:
         self,
         program: RoundProgram,
         compiled_at,
+        receivers_at,
         knowledge: np.ndarray,
         mask: np.ndarray,
         history: list[int],
         item_rounds: list[int | None] | None,
+        arrivals: np.ndarray | None,
         *,
         track_history: bool,
+        tile_rows: int | None,
     ) -> tuple[np.ndarray, int, int | None]:
-        """Round-by-round loop recording coverage and/or per-item completion."""
+        """Round-by-round loop recording coverage, item completion, arrivals."""
         n = program.graph.n
         if track_history:
             history.append(_popcount_total(knowledge))
@@ -328,13 +383,29 @@ class VectorizedEngine:
                 if j < n:
                     item_rounds[j] = 0
 
-        completion: int | None = 0 if _is_complete(knowledge, mask) else None
+        completion: int | None = 0 if _is_complete(knowledge, mask, tile_rows) else None
         executed = 0
         if completion is None:
             has_rounds = bool(program.rounds)
             for round_number in range(1, program.max_rounds + 1):
                 if has_rounds:
-                    _apply_round(knowledge, compiled_at(round_number))
+                    compiled = compiled_at(round_number)
+                    receivers = receivers_at(round_number) if arrivals is not None else None
+                    if receivers is not None:
+                        # Only this round's receiver rows can change: snapshot
+                        # them, apply, and record the freshly set bits (word
+                        # scan + expansion of the nonzero words only).
+                        before = knowledge[receivers]
+                        _apply_round(knowledge, compiled, tile_rows)
+                        fresh = knowledge[receivers] & ~before
+                        rows, cols = _set_bit_positions(fresh)
+                        if rows.size:
+                            vertex_items = cols < n
+                            arrivals[
+                                receivers[rows[vertex_items]], cols[vertex_items]
+                            ] = round_number
+                    else:
+                        _apply_round(knowledge, compiled, tile_rows)
                 executed = round_number
                 if track_history:
                     history.append(_popcount_total(knowledge))
@@ -346,7 +417,7 @@ class VectorizedEngine:
                             if j < n:
                                 item_rounds[j] = round_number
                     known_by_all = now_known
-                if _is_complete(knowledge, mask):
+                if _is_complete(knowledge, mask, tile_rows):
                     completion = round_number
                     break
         return knowledge, executed, completion
@@ -357,6 +428,8 @@ class VectorizedEngine:
         compiled_at,
         knowledge: np.ndarray,
         mask: np.ndarray,
+        *,
+        tile_rows: int | None,
     ) -> tuple[np.ndarray, int, int | None]:
         """Batched loop: completion checked per batch, replayed for exactness.
 
@@ -366,7 +439,7 @@ class VectorizedEngine:
         round by round to find the exact completion round, so results are
         indistinguishable from the reference engine's.
         """
-        if _is_complete(knowledge, mask):
+        if _is_complete(knowledge, mask, tile_rows):
             return knowledge, 0, 0
 
         max_rounds = program.max_rounds
@@ -376,13 +449,13 @@ class VectorizedEngine:
             size = min(batch, max_rounds - executed)
             saved = knowledge.copy()
             for offset in range(1, size + 1):
-                _apply_round(knowledge, compiled_at(executed + offset))
-            if _is_complete(knowledge, mask):
+                _apply_round(knowledge, compiled_at(executed + offset), tile_rows)
+            if _is_complete(knowledge, mask, tile_rows):
                 # Roll back and replay to pin down the exact round.
                 knowledge = saved
                 for offset in range(1, size + 1):
-                    _apply_round(knowledge, compiled_at(executed + offset))
-                    if _is_complete(knowledge, mask):
+                    _apply_round(knowledge, compiled_at(executed + offset), tile_rows)
+                    if _is_complete(knowledge, mask, tile_rows):
                         executed += offset
                         return knowledge, executed, executed
             executed += size

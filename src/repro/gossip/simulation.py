@@ -16,15 +16,22 @@ The actual execution is delegated to a *simulation engine* selected by the
   integers (one Python iteration per arc per round); the semantic oracle.
 * ``"vectorized"`` — a NumPy kernel that packs the knowledge sets into an
   ``(n, ceil(n/64)) uint64`` matrix, precompiles each round's arc list into
-  tail/head index arrays once per period, and applies rounds as bulk
-  gather + scatter-OR operations with hardware-popcount coverage tracking.
-* ``"auto"`` (default) — the fastest registered backend whose dependencies
-  are available (today: always the vectorized engine, since NumPy is a hard
-  dependency of this library); overridable globally via the
-  ``REPRO_SIM_ENGINE`` environment variable.
+  tail/head index arrays once per period, and applies rounds as L2-tiled
+  bulk gather + scatter-OR operations with hardware-popcount coverage
+  tracking.
+* ``"frontier"`` — a sparse engine that transmits only the newly-learned
+  (vertex, item) pairs of each round; the fastest backend for periodic
+  schedules on sparse topologies (cycles, paths, grids, trees) at large n.
+* ``"auto"`` (default) — the backend with the best worst-case profile whose
+  dependencies are available (today: the vectorized engine, since NumPy is
+  a hard dependency of this library); overridable globally via the
+  ``REPRO_SIM_ENGINE`` environment variable.  See
+  :mod:`repro.gossip.engines` for per-workload selection heuristics.
 
-Both backends return bit-for-bit identical results (enforced by
-``tests/test_engines_differential.py``).  New backends implement the
+All backends return bit-for-bit identical results (enforced by
+``tests/test_engines_differential.py`` and the randomized fuzz suite
+``tests/test_engines_fuzz.py``, which both iterate over the engine
+registry).  New backends implement the
 :class:`~repro.gossip.engines.base.SimulationEngine` protocol and join via
 :func:`repro.gossip.engines.register_engine`; see
 :mod:`repro.gossip.engines` for the packed bitset layout and the

@@ -11,6 +11,12 @@ def pytest_configure(config):
         "markers",
         "slow: long-running test (excluded in CI's default run via -m 'not slow')",
     )
+    config.addinivalue_line(
+        "markers",
+        "perf_regression: comparative wall-clock assertion; runs in the CI perf "
+        "job (cron/dispatch) only, never as a per-PR gate, because relative "
+        "timings flake on shared runners",
+    )
 
 from repro.gossip.model import Mode
 from repro.protocols.complete import complete_graph_schedule

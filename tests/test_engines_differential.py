@@ -1,11 +1,14 @@
 """Differential tests: every engine must match the reference bit-for-bit.
 
 The reference engine (pure-Python arbitrary-precision integers) is the
-semantic oracle; the vectorized engine (packed uint64 NumPy kernel) must
-reproduce its ``knowledge``, ``completion_round``, ``rounds_executed`` and
-``coverage_history`` exactly — on every topology builder, both duplex
-modes, explicit and systolic protocols, complete and incomplete runs,
-matching and deliberately non-matching rounds.
+semantic oracle; every other registered engine (the packed uint64 NumPy
+kernel, the sparse frontier-propagation engine, and any future backend)
+must reproduce its ``knowledge``, ``completion_round``, ``rounds_executed``,
+``coverage_history``, ``item_completion_rounds`` and ``arrival_rounds``
+exactly — on every topology builder, both duplex modes, explicit and
+systolic protocols, complete and incomplete runs, matching and deliberately
+non-matching rounds.  The engine lists below are drawn from the registry,
+so newly registered backends are covered automatically.
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ from __future__ import annotations
 import pytest
 
 from repro.gossip.builders import random_systolic_schedule
+from repro.gossip.engines import available_engines, get_engine
+from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import GossipProtocol, Mode
 from repro.gossip.simulation import (
     broadcast_time,
@@ -27,7 +32,11 @@ from repro.topologies.classic import cycle_graph, grid_2d, hypercube, path_graph
 from repro.topologies.debruijn import de_bruijn, de_bruijn_digraph
 from repro.topologies.kautz import kautz, kautz_digraph
 
-ENGINES = ("reference", "vectorized")
+ENGINES = available_engines()
+assert set(ENGINES) >= {"reference", "vectorized", "frontier"}
+
+#: Every registered engine that must be held to the reference's results.
+CANDIDATES = tuple(name for name in ENGINES if name != "reference")
 
 #: One builder per topology family used by the paper's experiments.
 TOPOLOGIES = {
@@ -51,48 +60,57 @@ def assert_results_identical(a, b, context=""):
     assert a.knowledge == b.knowledge, context
     assert a.coverage_history == b.coverage_history, context
     assert a.item_completion_rounds == b.item_completion_rounds, context
+    assert a.arrival_rounds == b.arrival_rounds, context
 
 
+@pytest.mark.parametrize("candidate", CANDIDATES)
 @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
 @pytest.mark.parametrize("family", sorted(TOPOLOGIES))
 class TestSystolicAgreement:
-    def test_systolic_simulation_matches(self, family, mode):
+    def test_systolic_simulation_matches(self, family, mode, candidate):
         schedule = coloring_systolic_schedule(TOPOLOGIES[family](), mode)
         ref = simulate_systolic(schedule, track_history=True, engine="reference")
-        vec = simulate_systolic(schedule, track_history=True, engine="vectorized")
+        got = simulate_systolic(schedule, track_history=True, engine=candidate)
         assert ref.engine_name == "reference"
-        assert vec.engine_name == "vectorized"
-        assert_results_identical(ref, vec, (family, mode))
+        assert got.engine_name == candidate
+        assert_results_identical(ref, got, (family, mode, candidate))
 
-    def test_truncated_incomplete_run_matches(self, family, mode):
+    def test_truncated_incomplete_run_matches(self, family, mode, candidate):
         schedule = coloring_systolic_schedule(TOPOLOGIES[family](), mode)
         ref = simulate_systolic(schedule, max_rounds=3, track_history=True, engine="reference")
-        vec = simulate_systolic(schedule, max_rounds=3, track_history=True, engine="vectorized")
-        assert_results_identical(ref, vec, (family, mode))
+        got = simulate_systolic(schedule, max_rounds=3, track_history=True, engine=candidate)
+        assert_results_identical(ref, got, (family, mode, candidate))
 
-    def test_unrolled_protocol_matches(self, family, mode):
+    def test_unrolled_protocol_matches(self, family, mode, candidate):
         schedule = coloring_systolic_schedule(TOPOLOGIES[family](), mode)
         protocol = schedule.unroll(2 * schedule.period)
         ref = simulate(protocol, engine="reference")
-        vec = simulate(protocol, engine="vectorized")
-        assert_results_identical(ref, vec, (family, mode))
+        got = simulate(protocol, engine=candidate)
+        assert_results_identical(ref, got, (family, mode, candidate))
 
-    def test_gossip_time_matches(self, family, mode):
+    def test_gossip_time_matches(self, family, mode, candidate):
         schedule = coloring_systolic_schedule(TOPOLOGIES[family](), mode)
         assert gossip_time(schedule, engine="reference") == gossip_time(
-            schedule, engine="vectorized"
+            schedule, engine=candidate
         )
 
-    def test_broadcast_times_match_per_source(self, family, mode):
+    def test_arrival_tracking_matches(self, family, mode, candidate):
+        schedule = coloring_systolic_schedule(TOPOLOGIES[family](), mode)
+        program = RoundProgram.from_schedule(schedule)
+        ref = get_engine("reference").run(program, track_arrivals=True, track_history=False)
+        got = get_engine(candidate).run(program, track_arrivals=True, track_history=False)
+        assert ref.arrival_rounds is not None
+        assert_results_identical(ref, got, (family, mode, candidate))
+
+    def test_broadcast_times_match_per_source(self, family, mode, candidate):
         graph = TOPOLOGIES[family]()
         schedule = coloring_systolic_schedule(graph, mode)
         per_source = {
             v: broadcast_time(schedule, v, engine="reference") for v in graph.vertices
         }
-        for engine in ENGINES:
-            batched = broadcast_times_all(schedule, engine=engine)
-            assert batched == per_source, (family, mode, engine)
-        assert max(per_source.values()) == gossip_time(schedule, engine="vectorized")
+        batched = broadcast_times_all(schedule, engine=candidate)
+        assert batched == per_source, (family, mode, candidate)
+        assert max(per_source.values()) == gossip_time(schedule, engine=candidate)
 
 
 @pytest.mark.parametrize("builder", [de_bruijn_digraph, kautz_digraph], ids=["debruijn", "kautz"])
@@ -109,8 +127,9 @@ def test_directed_protocol_matches(builder):
     rounds = [arcs[i : i + 3] for i in range(0, len(arcs), 3)]
     protocol = GossipProtocol(graph, rounds * 4, mode=Mode.DIRECTED)
     ref = simulate(protocol, engine="reference")
-    vec = simulate(protocol, engine="vectorized")
-    assert_results_identical(ref, vec, builder.__name__)
+    for candidate in CANDIDATES:
+        got = simulate(protocol, engine=candidate)
+        assert_results_identical(ref, got, (builder.__name__, candidate))
 
 
 @pytest.mark.parametrize("seed", range(6))
@@ -119,8 +138,9 @@ def test_random_schedules_match(seed):
     for graph in (cycle_graph(9), de_bruijn(2, 3)):
         schedule = random_systolic_schedule(graph, 5, Mode.HALF_DUPLEX, seed=seed)
         ref = simulate_systolic(schedule, max_rounds=40, track_history=True, engine="reference")
-        vec = simulate_systolic(schedule, max_rounds=40, track_history=True, engine="vectorized")
-        assert_results_identical(ref, vec, (graph.name, seed))
+        for candidate in CANDIDATES:
+            got = simulate_systolic(schedule, max_rounds=40, track_history=True, engine=candidate)
+            assert_results_identical(ref, got, (graph.name, seed, candidate))
 
 
 @pytest.mark.parametrize("engine", ENGINES)

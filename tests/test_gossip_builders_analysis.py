@@ -11,7 +11,9 @@ from repro.gossip.analysis import (
     LEFT,
     RIGHT,
     activation_counts,
+    all_arrival_times,
     arrival_times,
+    eccentricities,
     local_activation_sequence,
     protocol_summary,
 )
@@ -23,9 +25,11 @@ from repro.gossip.builders import (
     half_duplex_rounds_from_coloring,
     random_systolic_schedule,
 )
+from repro.gossip.engines import available_engines
 from repro.gossip.model import GossipProtocol, Mode
-from repro.gossip.simulation import gossip_time, simulate_systolic
+from repro.gossip.simulation import broadcast_times_all, gossip_time, simulate_systolic
 from repro.gossip.validation import validate_protocol
+from repro.protocols.cycle import cycle_systolic_schedule
 from repro.protocols.hypercube import hypercube_dimension_exchange
 from repro.protocols.path import path_systolic_schedule
 from repro.topologies.classic import cycle_graph, path_graph, star_graph
@@ -213,3 +217,88 @@ class TestActivationAnalysis:
         summary = protocol_summary(GossipProtocol(g, []))
         assert summary["length"] == 0
         assert summary["mean_activations_per_round"] == 0.0
+        assert summary["gossip_rounds"] is None
+        assert summary["broadcast_times"] == {0: None, 1: None, 2: None}
+
+
+class TestBatchedArrivalAnalyses:
+    """The single-pass arrival/eccentricity helpers and their engine kwarg."""
+
+    def _schedule(self):
+        return cycle_systolic_schedule(8, Mode.HALF_DUPLEX)
+
+    def test_protocol_summary_c8_regression(self):
+        """Pinned output of the batched summary on the C(8) cycle protocol."""
+        schedule = self._schedule()
+        protocol = schedule.unroll(8)
+        summary = protocol_summary(protocol)
+        assert summary == {
+            "name": "C(8)-systolic-half-duplex[t=8]",
+            "graph": "C(8)",
+            "n": 8,
+            "mode": "half-duplex",
+            "length": 8,
+            "minimal_period": 4,
+            "distinct_arcs_used": 16,
+            "total_activations": 32,
+            "mean_activations_per_round": 4.0,
+            "idle_vertex_rounds": 0,
+            "gossip_rounds": 8,
+            "broadcast_times": {v: 8 for v in range(8)},
+        }
+
+    def test_summary_broadcast_times_match_batched_helper(self):
+        schedule = self._schedule()
+        protocol = schedule.unroll(gossip_time(schedule))
+        summary = protocol_summary(protocol)
+        assert summary["broadcast_times"] == broadcast_times_all(protocol)
+        assert summary["gossip_rounds"] == gossip_time(protocol)
+
+    def test_truncated_protocol_reports_unfinished_sources_as_none(self):
+        schedule = self._schedule()
+        protocol = schedule.unroll(3)  # too short to broadcast anything
+        summary = protocol_summary(protocol)
+        assert summary["gossip_rounds"] is None
+        assert all(t is None for t in summary["broadcast_times"].values())
+
+    def test_eccentricities_match_broadcast_times_all(self):
+        schedule = self._schedule()
+        for engine in available_engines():
+            assert eccentricities(schedule, engine=engine) == broadcast_times_all(schedule)
+
+    def test_eccentricities_tolerate_incomplete_protocols(self):
+        g = path_graph(4)
+        forward_only = GossipProtocol(
+            g, [[(0, 1)], [(1, 2)], [(2, 3)]], mode=Mode.DIRECTED
+        )
+        ecc = eccentricities(forward_only)
+        assert ecc == {0: 3, 1: None, 2: None, 3: None}
+        with pytest.raises(SimulationError):
+            broadcast_times_all(forward_only)
+
+    def test_all_arrival_times_matches_per_source_sweeps(self):
+        schedule = self._schedule()
+        protocol = schedule.unroll(2 * gossip_time(schedule))
+        for engine in available_engines():
+            batched = all_arrival_times(protocol, engine=engine)
+            for source in protocol.graph.vertices:
+                assert batched[source] == arrival_times(protocol, source), (engine, source)
+
+    def test_arrival_times_accepts_systolic_schedules_and_engines(self):
+        schedule = self._schedule()
+        results = {
+            engine: arrival_times(schedule, 0, engine=engine)
+            for engine in available_engines()
+        }
+        first = next(iter(results.values()))
+        assert all(r == first for r in results.values())
+        assert first[0] == 0
+        assert set(first) == set(schedule.graph.vertices)
+        assert max(first.values()) == 8  # C(8) broadcast time from any source
+
+    def test_all_arrival_times_omits_unreached_vertices(self):
+        g = path_graph(4)
+        protocol = GossipProtocol(g, [[(0, 1)]], mode=Mode.DIRECTED)
+        batched = all_arrival_times(protocol)
+        assert batched[0] == {0: 0, 1: 1}
+        assert batched[3] == {3: 0}
