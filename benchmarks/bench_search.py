@@ -1,0 +1,140 @@
+"""Benchmark SEARCH — schedule synthesis throughput and solution quality.
+
+Two views of the :mod:`repro.search` subsystem, both recorded in the
+session report (and, when ``BENCH_SEARCH_JSON`` points at a file, dumped as
+JSON so CI can archive the trajectory alongside the engine timings):
+
+* **quality** — the full synthesize-and-certify pipeline on one instance
+  per topology family: edge-colouring baseline vs. synthesized rounds vs.
+  certified lower bound, with wall-clock and evaluation counts.  Asserts
+  the optimizer never loses to its own baseline seed and that every gap is
+  non-negative (the theory's invariant).
+* **throughput** — batched candidate evaluation
+  (:func:`repro.search.evaluate_candidates`) per engine on a larger
+  instance: evaluations/second is the number search budgets are sized
+  from, and the per-engine comparison doubles as a differential check
+  (identical scores across backends).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.runner import format_table
+from repro.experiments.search_gaps import search_gaps_table
+from repro.gossip.builders import random_systolic_schedule
+from repro.gossip.engines import available_engines
+from repro.gossip.model import Mode
+from repro.search import evaluate_candidates
+from repro.topologies.classic import cycle_graph
+
+#: Instance and batch size of the per-engine throughput measurement.
+THROUGHPUT_N = 256
+THROUGHPUT_CANDIDATES = 40
+
+#: Search budget of the quality run (kept moderate: the point is the gap
+#: trajectory, not squeezing the last round out of each instance).
+QUALITY_ITERS = 150
+
+
+def _maybe_dump_json(section: str, rows: list[dict]) -> None:
+    """Merge ``rows`` into the ``BENCH_SEARCH_JSON`` file (for CI artifacts)."""
+    path = os.environ.get("BENCH_SEARCH_JSON")
+    if not path:
+        return
+    data: dict = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+    data[section] = rows
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+def test_search_quality_report(report_sink):
+    """Synthesize-and-certify every family; assert the subsystem invariants."""
+    start = time.perf_counter()
+    table = search_gaps_table(seed=0, max_iters=QUALITY_ITERS)
+    elapsed = time.perf_counter() - start
+
+    rows = [
+        {
+            "instance": row.family,
+            "mode": row.mode,
+            "baseline_rounds": row.baseline_rounds,
+            "found": row.found,
+            "lower_bound": row.lower_bound,
+            "gap": row.gap,
+            "beats_baseline": row.beats_baseline,
+            "evaluations": row.evaluations,
+        }
+        for row in table
+    ]
+    report_sink(
+        f"SEARCH: synthesis quality per family ({elapsed:.1f}s total)",
+        format_table(
+            rows,
+            [
+                "instance",
+                "mode",
+                "baseline_rounds",
+                "found",
+                "lower_bound",
+                "gap",
+                "beats_baseline",
+                "evaluations",
+            ],
+        ),
+    )
+    _maybe_dump_json("search_quality", rows)
+
+    for row in table:
+        assert row.consistent, f"negative certified gap on {row.family} {row.mode}: {row}"
+        assert row.found <= row.baseline_rounds, (
+            f"search lost to its own edge-colouring seed on {row.family} {row.mode}"
+        )
+    improved = sum(1 for row in table if row.beats_baseline)
+    assert improved >= 2, (
+        f"search beat the edge-colouring baseline on only {improved} rows "
+        "(expected at least 2 across the battery)"
+    )
+
+
+def test_search_evaluation_throughput(report_sink):
+    """Batched candidate scoring per engine: throughput + differential check."""
+    graph = cycle_graph(THROUGHPUT_N)
+    candidates = [
+        random_systolic_schedule(graph, 4, Mode.HALF_DUPLEX, seed=s)
+        for s in range(THROUGHPUT_CANDIDATES)
+    ]
+
+    rows = []
+    scores_by_engine = {}
+    for name in available_engines():
+        start = time.perf_counter()
+        values = evaluate_candidates(candidates, engine=name)
+        elapsed = time.perf_counter() - start
+        scores_by_engine[name] = [v.score for v in values]
+        rows.append(
+            {
+                "engine": name,
+                "candidates": len(candidates),
+                "seconds": elapsed,
+                "evals_per_second": len(candidates) / elapsed,
+            }
+        )
+
+    report_sink(
+        f"SEARCH: batched candidate evaluation on C({THROUGHPUT_N}), "
+        f"{THROUGHPUT_CANDIDATES} random schedules",
+        format_table(rows, ["engine", "candidates", "seconds", "evals_per_second"]),
+    )
+    _maybe_dump_json("search_throughput", rows)
+
+    reference_scores = scores_by_engine["reference"]
+    for name, scores in scores_by_engine.items():
+        assert scores == reference_scores, (
+            f"engine {name!r} disagreed with the reference on candidate scores"
+        )

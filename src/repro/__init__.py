@@ -12,7 +12,10 @@ The package has four layers:
   full-duplex / non-systolic lower bounds (Theorems 4.1 and 5.1,
   Corollary 4.4, Section 6);
 * :mod:`repro.protocols` and :mod:`repro.experiments` — constructive upper
-  bounds and the harness that regenerates every table of the paper.
+  bounds and the harness that regenerates every table of the paper;
+* :mod:`repro.search` — schedule synthesis: local search over systolic
+  periods with certified ``(found, lower_bound, gap)`` reports connecting
+  the simulator to the paper's bounds.
 
 Quick start::
 
@@ -45,8 +48,9 @@ from repro.exceptions import (
 )
 from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
 from repro.gossip.simulation import broadcast_time, gossip_time, simulate, simulate_systolic
+from repro.search import GapReport, SearchResult, certified_gap, synthesize_schedule
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -80,4 +84,9 @@ __all__ = [
     "nonsystolic_separator_bound",
     "LowerBoundCertificate",
     "certify_protocol",
+    # schedule synthesis
+    "SearchResult",
+    "GapReport",
+    "synthesize_schedule",
+    "certified_gap",
 ]

@@ -9,6 +9,9 @@ Usage (after ``pip install -e .``)::
     repro-gossip structure            # the Fig. 1-3 / Fig. 7 matrices
     repro-gossip sandwich             # certified vs. measured on instances
     repro-gossip broadcast            # batched multi-source broadcast sweep
+    repro-gossip search               # synthesized schedules vs. bounds table
+    repro-gossip optimize --family cycle --size 12
+                                      # synthesize one schedule + certify gap
     repro-gossip all                  # everything (the EXPERIMENTS.md source)
 
 or equivalently ``python -m repro <command>``.  Simulation-backed commands
@@ -29,12 +32,43 @@ from repro.experiments.fig4 import fig4_table
 from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
 from repro.experiments.fig8 import fig8_table
-from repro.experiments.runner import BROADCAST_COLUMNS, format_table, run_all
+from repro.experiments.runner import (
+    BROADCAST_COLUMNS,
+    SEARCH_GAP_COLUMNS,
+    format_table,
+    run_all,
+)
 from repro.experiments.sandwich import sandwich_table
+from repro.experiments.search_gaps import search_gaps_table
 from repro.experiments.structure import render_matrix, structure_report
 from repro.gossip.engines import AUTO_ENGINE, available_engines
+from repro.search.local_search import STRATEGIES
+from repro.search.objective import OBJECTIVES
 
-__all__ = ["main", "build_parser"]
+from repro.topologies.classic import (
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    path_graph,
+    torus_2d,
+)
+from repro.topologies.debruijn import de_bruijn
+
+__all__ = ["main", "build_parser", "OPTIMIZE_FAMILIES"]
+
+#: Topology families the ``optimize`` subcommand knows: family name →
+#: (number of ``--size`` integers, builder).  One table so the argparse
+#: choices and the dispatch cannot drift.
+OPTIMIZE_FAMILIES = {
+    "cycle": (1, cycle_graph),
+    "path": (1, path_graph),
+    "complete": (1, complete_graph),
+    "hypercube": (1, hypercube),
+    "grid": (2, grid_2d),
+    "torus": (2, torus_2d),
+    "debruijn": (2, de_bruijn),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +97,66 @@ def build_parser() -> argparse.ArgumentParser:
         "broadcast", help="batched multi-source broadcast sweep per topology"
     )
     _add_engine_flag(broadcast)
+    search = sub.add_parser(
+        "search", help="synthesized schedules vs. certified bounds per topology"
+    )
+    search.add_argument("--seed", type=int, default=0, help="search RNG seed (default 0)")
+    search.add_argument(
+        "--iterations",
+        type=int,
+        default=150,
+        help="local-search proposals per driver run (default 150)",
+    )
+    _add_engine_flag(search)
+    optimize = sub.add_parser(
+        "optimize",
+        help="synthesize a systolic schedule for one instance and certify its gap",
+    )
+    optimize.add_argument(
+        "--family",
+        choices=sorted(OPTIMIZE_FAMILIES),
+        required=True,
+        help="topology family to build the instance from",
+    )
+    optimize.add_argument(
+        "--size",
+        required=True,
+        help="instance size: one integer (cycle/path/complete/hypercube) or "
+        "two separated by 'x' or ',' (grid/torus/debruijn), e.g. 12 or 4x4",
+    )
+    optimize.add_argument(
+        "--mode",
+        choices=("half-duplex", "full-duplex"),
+        default="half-duplex",
+        help="communication mode (default half-duplex)",
+    )
+    optimize.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="anneal",
+        help="local-search driver (default anneal)",
+    )
+    optimize.add_argument(
+        "--objective",
+        choices=OBJECTIVES,
+        default="gossip_rounds",
+        help="score to minimise (default gossip_rounds)",
+    )
+    optimize.add_argument("--seed", type=int, default=0, help="search RNG seed (default 0)")
+    optimize.add_argument(
+        "--iterations",
+        type=int,
+        default=300,
+        help="local-search proposals per driver run (default 300)",
+    )
+    optimize.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="extra passes restarted from the best state: annealing reheats, "
+        "or repeated hill-climb walks (default 1)",
+    )
+    _add_engine_flag(optimize)
     everything = sub.add_parser("all", help="run every experiment (EXPERIMENTS.md source)")
     _add_engine_flag(everything)
     return parser
@@ -76,6 +170,74 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         default=AUTO_ENGINE,
         help="simulation engine to use (default: auto)",
     )
+
+
+def _parse_size(family: str, size: str) -> tuple[int, ...]:
+    """``--size`` values: '12', '4x4' or '2,3' depending on the family."""
+    parts = size.replace("x", ",").split(",")
+    try:
+        values = tuple(int(p) for p in parts if p != "")
+    except ValueError:
+        raise SystemExit(f"invalid --size {size!r}: expected integers") from None
+    expected, _ = OPTIMIZE_FAMILIES[family]
+    if len(values) != expected:
+        raise SystemExit(
+            f"family {family!r} expects {expected} size value(s), got {len(values)} "
+            f"from --size {size!r}"
+        )
+    return values
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    """The ``optimize`` subcommand: synthesize one schedule, certify its gap."""
+    from repro.exceptions import TopologyError
+    from repro.gossip.model import Mode
+    from repro.search import certified_gap, synthesize_schedule
+
+    _, builder = OPTIMIZE_FAMILIES[args.family]
+    try:
+        graph = builder(*_parse_size(args.family, args.size))
+    except TopologyError as exc:
+        raise SystemExit(f"invalid --size {args.size!r} for {args.family}: {exc}") from None
+    mode = Mode.FULL_DUPLEX if args.mode == "full-duplex" else Mode.HALF_DUPLEX
+    result = synthesize_schedule(
+        graph,
+        mode,
+        strategy=args.strategy,
+        objective=args.objective,
+        seed=args.seed,
+        max_iters=args.iterations,
+        restarts=args.restarts,
+        engine=args.engine,
+    )
+    report = certified_gap(
+        result.schedule, found=result.found_rounds, engine=args.engine
+    )
+    print(
+        format_table(
+            [
+                {
+                    "graph": report.graph_name,
+                    "n": report.n,
+                    "mode": report.mode,
+                    "period": report.period,
+                    "found": report.found,
+                    "lower_bound": report.lower_bound,
+                    "gap": report.gap,
+                    "certified_rounds": report.certified_rounds,
+                    "diameter_bound": report.diameter_bound,
+                    "evaluations": result.evaluations,
+                    "engine": result.objective.engine_name,
+                }
+            ]
+        )
+    )
+    print(f"winner: {result.schedule.name} (seeded from {result.seed_name})")
+    print(f"(found, lower_bound, gap) = ({report.found}, {report.lower_bound}, {report.gap})")
+    if result.found_rounds is None:
+        print("warning: the synthesized schedule never completed gossip")
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -164,6 +326,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     elif command == "broadcast":
         print(format_table(broadcast_sweep_table(engine=args.engine), BROADCAST_COLUMNS))
+    elif command == "search":
+        print(
+            format_table(
+                search_gaps_table(
+                    engine=args.engine, seed=args.seed, max_iters=args.iterations
+                ),
+                SEARCH_GAP_COLUMNS,
+            )
+        )
+    elif command == "optimize":
+        return _run_optimize(args)
     elif command == "all":
         print(run_all(engine=args.engine))
     else:  # pragma: no cover - argparse enforces the choices

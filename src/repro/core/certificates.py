@@ -131,8 +131,19 @@ def certify_protocol(
         When true, binary-search the largest ``λ ∈ (0, 1)`` with
         ``‖M(λ)‖ ≤ 1``; concrete schedules are usually strictly better than
         the worst case of Lemma 4.3, so this yields stronger certificates.
+
+    Periods 1 and 2 are rejected in every mode: Theorem 4.1 is stated for
+    ``s ≥ 3`` (the paper's "``s ≤ 2``" remark), and evaluating the delay
+    matrix anyway can emit bounds that *exceed* the true gossip time (e.g.
+    the 2-systolic full-duplex schedule on ``C(6)`` gossips in 3 rounds
+    while the naive certificate claims 4).
     """
     protocol, period = _as_protocol(protocol_or_schedule, unroll_periods)
+    if period < 3:
+        raise BoundComputationError(
+            f"Theorem 4.1 certificates require period >= 3, got {period} "
+            "(the theorem does not cover s <= 2)"
+        )
     n = protocol.graph.n
     delay = DelayDigraph(protocol, period=period)
 

@@ -15,6 +15,9 @@
 * :mod:`repro.experiments.broadcast_sweep` — batched multi-source broadcast
   statistics per topology family (one simulation yields every source's
   broadcast time), parameterised over the simulation engine.
+* :mod:`repro.experiments.search_gaps` — synthesized schedules
+  (:mod:`repro.search`) vs. their certified lower bounds per topology
+  family and mode, reporting the ``(found, lower_bound, gap)`` triples.
 * :mod:`repro.experiments.runner` — text-table formatting and an
   "everything" driver used by the CLI and by EXPERIMENTS.md.
 """
@@ -25,6 +28,7 @@ from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
 from repro.experiments.fig8 import fig8_table
 from repro.experiments.sandwich import sandwich_table
+from repro.experiments.search_gaps import search_gaps_table
 from repro.experiments.structure import structure_report
 from repro.experiments.runner import format_table, run_all
 
@@ -35,6 +39,7 @@ __all__ = [
     "fig6_table",
     "fig8_table",
     "sandwich_table",
+    "search_gaps_table",
     "structure_report",
     "format_table",
     "run_all",

@@ -17,11 +17,28 @@ from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
 from repro.experiments.fig8 import fig8_table
 from repro.experiments.sandwich import sandwich_table
+from repro.experiments.search_gaps import SEARCH_GAP_COLUMNS, search_gaps_table
 from repro.experiments.structure import render_matrix, structure_report
 
-__all__ = ["format_table", "format_value", "run_all", "EXPERIMENT_NAMES", "BROADCAST_COLUMNS"]
+__all__ = [
+    "format_table",
+    "format_value",
+    "run_all",
+    "EXPERIMENT_NAMES",
+    "BROADCAST_COLUMNS",
+    "SEARCH_GAP_COLUMNS",
+]
 
-EXPERIMENT_NAMES = ("fig4", "fig5", "fig6", "fig8", "structure", "sandwich", "broadcast")
+EXPERIMENT_NAMES = (
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "structure",
+    "sandwich",
+    "broadcast",
+    "search",
+)
 
 #: Column order of the broadcast-sweep table (shared by the CLI and run_all).
 BROADCAST_COLUMNS = (
@@ -170,6 +187,11 @@ def run_all(*, include_sandwich: bool = True, engine: str = "auto") -> str:
     sections.append("\n== BROADCAST: batched multi-source broadcast sweep ==")
     sections.append(
         format_table(broadcast_sweep_table(engine=engine), BROADCAST_COLUMNS)
+    )
+
+    sections.append("\n== SEARCH: synthesized schedules vs. certified lower bounds ==")
+    sections.append(
+        format_table(search_gaps_table(engine=engine), SEARCH_GAP_COLUMNS)
     )
 
     if include_sandwich:

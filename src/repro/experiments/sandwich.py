@@ -34,6 +34,7 @@ from repro.protocols.tree import tree_systolic_schedule
 from repro.topologies.butterfly import wrapped_butterfly
 from repro.topologies.debruijn import de_bruijn
 from repro.topologies.kautz import kautz
+from repro.topologies.properties import diameter
 
 __all__ = ["SandwichRow", "sandwich_table", "default_instances"]
 
@@ -51,8 +52,8 @@ class SandwichRow:
     analytic_coefficient: float | None
     analytic_lower_bound: float | None
     measured_gossip_time: int
-    norm_at_lambda: float
-    lam: float
+    norm_at_lambda: float | None
+    lam: float | None
 
     @property
     def consistent(self) -> bool:
@@ -101,10 +102,22 @@ def _analytic_bound(mode: Mode, period: int, n: int) -> tuple[float | None, floa
 def sandwich_row(
     schedule: SystolicSchedule, *, unroll_periods: int = 3, engine: str = "auto"
 ) -> SandwichRow:
-    """Build the sandwich comparison for one systolic schedule."""
-    certificate = certify_protocol(
-        schedule, optimize_lambda=True, unroll_periods=unroll_periods
-    )
+    """Build the sandwich comparison for one systolic schedule.
+
+    Periods 1-2 fall outside Theorem 4.1 (``certify_protocol`` refuses
+    them); those rows fall back to the digraph diameter — a valid lower
+    bound on any gossip protocol (an item needs ``dist(x, y)`` rounds to
+    travel, one arc per round) — and report no λ/norm, mirroring the
+    missing analytic column.  This matches the fallback
+    :func:`repro.search.gap.certified_gap` applies to the same schedules.
+    """
+    try:
+        certificate = certify_protocol(
+            schedule, optimize_lambda=True, unroll_periods=unroll_periods
+        )
+        certified, norm, lam = certificate.certified_rounds, certificate.norm, certificate.lam
+    except BoundComputationError:
+        certified, norm, lam = diameter(schedule.graph), None, None
     measured = gossip_time(schedule, engine=engine)
     coefficient, analytic = _analytic_bound(schedule.mode, schedule.period, schedule.graph.n)
     return SandwichRow(
@@ -113,12 +126,12 @@ def sandwich_row(
         n=schedule.graph.n,
         mode=schedule.mode.value,
         period=schedule.period,
-        certified_lower_bound=certificate.certified_rounds,
+        certified_lower_bound=certified,
         analytic_coefficient=coefficient,
         analytic_lower_bound=analytic,
         measured_gossip_time=measured,
-        norm_at_lambda=certificate.norm,
-        lam=certificate.lam,
+        norm_at_lambda=norm,
+        lam=lam,
     )
 
 

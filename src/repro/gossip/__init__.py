@@ -58,6 +58,7 @@ from repro.gossip.simulation import (
     simulate_systolic,
 )
 from repro.gossip.engines import (
+    ArrivalRounds,
     SimulationEngine,
     available_engines,
     get_engine,
@@ -72,6 +73,7 @@ from repro.gossip.builders import (
     random_systolic_schedule,
 )
 from repro.gossip.analysis import (
+    ArrivalTimesView,
     activation_counts,
     all_arrival_times,
     arrival_times,
@@ -90,6 +92,8 @@ __all__ = [
     "validate_round",
     "check_matching",
     "check_full_duplex_pairing",
+    "ArrivalRounds",
+    "ArrivalTimesView",
     "SimulationResult",
     "SimulationEngine",
     "simulate",

@@ -17,9 +17,10 @@ maintains arrivals incrementally — can serve them.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Mapping
 
 from repro.exceptions import SimulationError
-from repro.gossip.engines import SimulationEngine, resolve_engine
+from repro.gossip.engines import ArrivalRounds, SimulationEngine, resolve_engine
 from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
 from repro.topologies.base import Arc, Digraph, Vertex
 
@@ -28,6 +29,7 @@ __all__ = [
     "RIGHT",
     "IDLE",
     "BOTH",
+    "ArrivalTimesView",
     "local_activation_sequence",
     "activation_counts",
     "arrival_times",
@@ -147,10 +149,58 @@ def arrival_times(
     )
     assert result.arrival_rounds is not None
     return {
-        graph.vertex(i): row[source_index]
-        for i, row in enumerate(result.arrival_rounds)
-        if row[source_index] is not None
+        graph.vertex(i): round_number
+        for i, round_number in enumerate(result.arrival_rounds.column(source_index))
+        if round_number is not None
     }
+
+
+class ArrivalTimesView(Mapping):
+    """Lazy ``{source: {vertex: round}}`` view over a tracked arrival matrix.
+
+    Behaves like the eager nested dict :func:`all_arrival_times` used to
+    return — ``view[source][vertex]``, iteration over sources, ``len``,
+    ``in`` — but each source's inner dict is materialised (and cached) only
+    on first access, so profiling a handful of sources no longer pays the
+    full n×n Python-object conversion.  ``to_numpy()`` exposes the backing
+    ``(vertex, item)`` int64 matrix (``-1`` for "never arrived") for
+    vectorised consumers.
+    """
+
+    __slots__ = ("_graph", "_arrivals", "_cache")
+
+    def __init__(self, graph: Digraph, arrivals: ArrivalRounds) -> None:
+        self._graph = graph
+        self._arrivals = arrivals
+        self._cache: dict[Vertex, dict[Vertex, int]] = {}
+
+    def __getitem__(self, source: Vertex) -> dict[Vertex, int]:
+        cached = self._cache.get(source)
+        if cached is not None:
+            return cached
+        if not self._graph.has_vertex(source):
+            raise KeyError(source)
+        column = self._arrivals.column(self._graph.index(source))
+        times = {
+            self._graph.vertex(i): round_number
+            for i, round_number in enumerate(column)
+            if round_number is not None
+        }
+        self._cache[source] = times
+        return times
+
+    def __iter__(self):
+        return iter(self._graph.vertices)
+
+    def __len__(self) -> int:
+        return self._graph.n
+
+    def to_numpy(self):
+        """The backing first-arrival matrix; see :meth:`ArrivalRounds.to_numpy`."""
+        return self._arrivals.to_numpy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrivalTimesView(graph={self._graph.name!r}, n={self._graph.n})"
 
 
 def all_arrival_times(
@@ -158,28 +208,22 @@ def all_arrival_times(
     *,
     max_rounds: int | None = None,
     engine: str | SimulationEngine | None = "auto",
-) -> dict[Vertex, dict[Vertex, int]]:
+) -> ArrivalTimesView:
     """Arrival times of *every* source's item, from one batched simulation.
 
     ``result[source][vertex]`` is the first round after which ``vertex``
     knows the item of ``source`` (0 for the source itself); vertices an item
     never reaches are absent from its inner mapping.  One tracked engine run
-    replaces the ``n`` per-source :func:`arrival_times` sweeps.
+    replaces the ``n`` per-source :func:`arrival_times` sweeps, and the
+    returned :class:`ArrivalTimesView` converts each source's column to
+    Python objects lazily (``.to_numpy()`` skips the conversion entirely).
     """
     graph = protocol_or_schedule.graph
     _, result = _tracked_run(
         protocol_or_schedule, max_rounds, engine, track_arrivals=True
     )
     assert result.arrival_rounds is not None
-    times: dict[Vertex, dict[Vertex, int]] = {
-        graph.vertex(j): {} for j in range(graph.n)
-    }
-    for i, row in enumerate(result.arrival_rounds):
-        vertex = graph.vertex(i)
-        for j, round_number in enumerate(row):
-            if round_number is not None:
-                times[graph.vertex(j)][vertex] = round_number
-    return times
+    return ArrivalTimesView(graph, result.arrival_rounds)
 
 
 def eccentricities(

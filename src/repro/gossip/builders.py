@@ -26,6 +26,7 @@ from repro.topologies.base import Arc, Digraph, Vertex
 __all__ = [
     "greedy_edge_coloring",
     "edge_coloring_rounds",
+    "edge_coloring_schedule",
     "half_duplex_rounds_from_coloring",
     "full_duplex_rounds_from_coloring",
     "random_systolic_schedule",
@@ -133,6 +134,7 @@ def random_systolic_schedule(
     mode: Mode = Mode.HALF_DUPLEX,
     *,
     seed: int = 0,
+    rng: random.Random | None = None,
     activation_probability: float = 0.9,
 ) -> SystolicSchedule:
     """A seeded random s-systolic schedule whose rounds are valid matchings.
@@ -143,7 +145,14 @@ def random_systolic_schedule(
     matching built so far.  The result is a structurally valid schedule; it
     is *not* guaranteed to complete gossip (callers that need completeness
     should check with the simulator), which is exactly what is needed for
-    stress-testing the lower-bound machinery on arbitrary periods.
+    stress-testing the lower-bound machinery on arbitrary periods — and for
+    generating restart candidates in :mod:`repro.search`, whose fuzzer draws
+    schedules through a shared ``rng`` instance.
+
+    ``rng`` takes precedence over ``seed``: pass an existing
+    :class:`random.Random` to draw from a caller-owned stream (successive
+    calls then yield *different* schedules), or a ``seed`` for the
+    historical one-shot deterministic behaviour.
     """
     if period <= 0:
         raise ProtocolError(f"period must be positive, got {period}")
@@ -152,7 +161,11 @@ def random_systolic_schedule(
     if mode in (Mode.HALF_DUPLEX, Mode.FULL_DUPLEX) and not graph.is_symmetric():
         raise ProtocolError(f"{mode.value} schedules require a symmetric digraph")
 
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
+        seed_tag = f"seed{seed}"
+    else:
+        seed_tag = "rng"
     rounds: list[Round] = []
     for _ in range(period):
         used: set[Vertex] = set()
@@ -178,5 +191,8 @@ def random_systolic_schedule(
                     arcs.append((tail, head))
         rounds.append(make_round(arcs))
     return SystolicSchedule(
-        graph, rounds, mode=mode, name=f"{graph.name}-random-s{period}-seed{seed}"
+        graph,
+        rounds,
+        mode=mode,
+        name=f"{graph.name}-random-{mode.value}-s{period}-{seed_tag}",
     )

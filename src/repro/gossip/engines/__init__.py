@@ -63,6 +63,7 @@ import os
 
 from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
+    ArrivalRounds,
     RoundProgram,
     SimulationEngine,
     SimulationResult,
@@ -72,6 +73,7 @@ from repro.gossip.engines.reference import ReferenceEngine
 from repro.gossip.engines.vectorized import VectorizedEngine, numpy_available
 
 __all__ = [
+    "ArrivalRounds",
     "RoundProgram",
     "SimulationEngine",
     "SimulationResult",

@@ -5,9 +5,9 @@ Both the vectorized and the frontier engine store knowledge as an
 lives in word ``j // 64`` at position ``j % 64``), so that a row
 reinterpreted as little-endian bytes equals the reference engine's Python
 integer exactly.  The helpers here convert between that layout and Python
-integers, expand packed words into bit coordinates, and format arrival
-matrices — any future packed-bitset backend should build on them rather
-than reaching into another engine's internals.
+integers and expand packed words into bit coordinates — any future
+packed-bitset backend should build on them rather than reaching into
+another engine's internals.
 """
 
 from __future__ import annotations
@@ -30,7 +30,6 @@ __all__ = [
     "popcount_total",
     "unpack_bits",
     "set_bit_positions",
-    "arrival_tuples",
 ]
 
 WORD_BITS = 64
@@ -104,18 +103,3 @@ def set_bit_positions(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     bits = (words[:, None] & BIT_LUT[None, :]) != 0
     flat = np.nonzero(bits)
     return rows_w[flat[0]], cols_w[flat[0]] * WORD_BITS + flat[1]
-
-
-def arrival_tuples(arrivals: np.ndarray) -> tuple[tuple[int | None, ...], ...]:
-    """An ``-1``-for-missing arrival matrix as the result's nested tuples.
-
-    Completed runs have no missing entries, so the common case converts at
-    C speed and only runs the per-element ``None`` substitution when some
-    item genuinely never arrived.
-    """
-    data = arrivals.tolist()
-    if int(arrivals.min(initial=0)) >= 0:
-        return tuple(map(tuple, data))
-    return tuple(
-        tuple(x if x >= 0 else None for x in row) for row in data
-    )

@@ -17,14 +17,21 @@ pure-Python reference implementation.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
+    np = None  # type: ignore[assignment] - list-backed arrival views still work
 
 from repro.exceptions import SimulationError
 from repro.gossip.model import GossipProtocol, Round, SystolicSchedule
 from repro.topologies.base import Digraph, Vertex
 
 __all__ = [
+    "ArrivalRounds",
     "RoundProgram",
     "SimulationResult",
     "SimulationEngine",
@@ -62,6 +69,131 @@ def iter_set_bits(bits: int):
         low = bits & -bits
         yield low.bit_length() - 1
         bits ^= low
+
+
+class ArrivalRounds(Sequence):
+    """Lazy first-arrival matrix: ``view[i][j]`` is the first round after
+    which vertex ``i`` knew item ``j`` (0 for initially-known items, ``None``
+    when the item never arrived within the executed rounds).
+
+    The packed-bitset engines hand their internal ``(n, n)`` int64 tracking
+    array (``-1`` encoding "never arrived") over wholesale, so building the
+    result costs O(1) instead of the eager n×n Python tuple materialisation
+    this replaced (~2.5 s at n = 4096).  The dependency-free reference engine
+    backs the view with nested lists instead.  Rows materialise as plain
+    tuples of ``int | None`` on access, so indexing, iteration and equality
+    behave exactly like the nested tuples did; vectorised consumers call
+    :meth:`to_numpy` to skip per-element conversion entirely.
+
+    The constructor takes *ownership* of a passed array: the view freezes
+    it (a read-only view over the caller's buffer when the input is already
+    contiguous int64, to stay zero-copy), so callers must not mutate the
+    buffer afterwards — doing so would silently change the view's contents,
+    equality and hash.
+    """
+
+    __slots__ = ("_array", "_rows", "_hash")
+
+    def __init__(self, data) -> None:
+        self._hash: int | None = None
+        if np is not None and isinstance(data, np.ndarray):
+            if data.ndim != 2:
+                raise SimulationError(
+                    f"arrival matrices are 2-D, got {data.ndim}-D array"
+                )
+            array = np.ascontiguousarray(data, dtype=np.int64)
+            if array is data:
+                # Freeze a view, not the caller's own array object.
+                array = data.view()
+            array.flags.writeable = False
+            self._array = array
+            self._rows = None
+        else:
+            self._array = None
+            self._rows = tuple(tuple(row) for row in data)
+
+    # -- sequence protocol ---------------------------------------------- #
+    def __len__(self) -> int:
+        if self._array is not None:
+            return self._array.shape[0]
+        return len(self._rows)
+
+    @staticmethod
+    def _decode(values) -> tuple[int | None, ...]:
+        return tuple(x if x >= 0 else None for x in values)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return tuple(self[k] for k in range(*i.indices(len(self))))
+        if self._array is not None:
+            return self._decode(self._array[i].tolist())
+        return self._rows[i]
+
+    def __iter__(self):
+        if self._array is not None:
+            for row in self._array.tolist():
+                yield self._decode(row)
+        else:
+            yield from self._rows
+
+    def column(self, j: int) -> tuple[int | None, ...]:
+        """Arrival rounds of item ``j`` at every vertex (one column)."""
+        if self._array is not None:
+            return self._decode(self._array[:, j].tolist())
+        return tuple(row[j] for row in self._rows)
+
+    def to_numpy(self):
+        """The backing ``(n, n)`` int64 matrix, ``-1`` for "never arrived".
+
+        Zero-copy (and read-only) when the producing engine was array-backed;
+        the reference engine's list backing is converted on demand.
+        """
+        if self._array is not None:
+            return self._array
+        if np is None:  # pragma: no cover - numpy is a hard dependency today
+            raise SimulationError("ArrivalRounds.to_numpy() requires NumPy")
+        array = np.array(
+            [[-1 if x is None else x for x in row] for row in self._rows],
+            dtype=np.int64,
+        )
+        array.flags.writeable = False
+        return array
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, ArrivalRounds):
+            if self._array is not None and other._array is not None:
+                return bool(np.array_equal(self._array, other._array))
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(iter(self), iter(other))
+            )
+        if isinstance(other, Sequence) and not isinstance(other, (str, bytes)):
+            try:
+                return len(self) == len(other) and all(
+                    a == tuple(b) for a, b in zip(iter(self), iter(other))
+                )
+            except TypeError:  # rows of `other` are not iterable: not equal
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Hash the packed bytes of the canonical int64 matrix (cached), so
+        # equal views hash identically across both backings without building
+        # the n² Python objects the lazy view exists to avoid.  Views that
+        # compare equal to *plain* nested tuples do not share those tuples'
+        # hash — mixed-key dict use is not supported.
+        if self._hash is None:
+            if np is not None:
+                self._hash = hash(self.to_numpy().tobytes())
+            else:  # pragma: no cover - numpy is a hard dependency today
+                self._hash = hash(tuple(iter(self)))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = len(self)
+        backing = "array" if self._array is not None else "tuples"
+        return f"ArrivalRounds(n={n}, backing={backing})"
 
 
 @dataclass(frozen=True)
@@ -139,12 +271,15 @@ class SimulationResult:
         knew item ``j`` (i.e. the broadcast time of vertex ``j``'s item under
         this protocol), or ``None`` if the run ended first.
     arrival_rounds:
-        Only populated when the engine was asked to track arrivals: entry
-        ``[i][j]`` is the first round after which vertex ``i`` knew item
-        ``j`` (0 for items known initially), or ``None`` if the item never
-        arrived within the executed rounds.  Like item tracking, only the
-        ``n`` vertex-originated items are covered; higher bits of a
-        caller-supplied initial state are ignored.
+        Only populated when the engine was asked to track arrivals: a lazy
+        :class:`ArrivalRounds` view whose entry ``[i][j]`` is the first round
+        after which vertex ``i`` knew item ``j`` (0 for items known
+        initially), or ``None`` if the item never arrived within the
+        executed rounds.  Indexing and iteration behave like the eager
+        nested tuples this used to be; ``arrival_rounds.to_numpy()`` exposes
+        the backing int64 matrix without per-element conversion.  Like item
+        tracking, only the ``n`` vertex-originated items are covered; higher
+        bits of a caller-supplied initial state are ignored.
     engine_name:
         Name of the engine that produced this result, so callers can verify
         which backend actually ran (the ``auto`` selection is never silent).
@@ -156,7 +291,7 @@ class SimulationResult:
     knowledge: tuple[int, ...]
     coverage_history: tuple[int, ...]
     item_completion_rounds: tuple[int | None, ...] | None = None
-    arrival_rounds: tuple[tuple[int | None, ...], ...] | None = None
+    arrival_rounds: ArrivalRounds | None = None
     engine_name: str | None = None
 
     @property

@@ -58,6 +58,7 @@ except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
 
 from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
+    ArrivalRounds,
     RoundProgram,
     SimulationResult,
     check_initial,
@@ -68,7 +69,6 @@ from repro.gossip.engines._bitops import (
     BIT_LUT as _BIT_LUT,
     WORD_MASK as _WORD_MASK,
     WORD_SHIFT as _WORD_SHIFT,
-    arrival_tuples as _arrival_tuples,
     numpy_available,
     pack_int as _pack_int,
     set_bit_positions as _set_bit_positions,
@@ -393,6 +393,6 @@ class FrontierEngine:
             item_completion_rounds=None
             if item_rounds is None
             else tuple(int(x) if x >= 0 else None for x in item_rounds.tolist()),
-            arrival_rounds=None if arrivals is None else _arrival_tuples(arrivals),
+            arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
         )

@@ -14,6 +14,7 @@ from functools import reduce
 from operator import and_
 
 from repro.gossip.engines.base import (
+    ArrivalRounds,
     RoundProgram,
     SimulationResult,
     check_initial,
@@ -108,6 +109,6 @@ class ReferenceEngine:
             knowledge=tuple(knowledge),
             coverage_history=tuple(history),
             item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
-            arrival_rounds=None if arrivals is None else tuple(tuple(row) for row in arrivals),
+            arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
         )

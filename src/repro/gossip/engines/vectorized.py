@@ -60,6 +60,7 @@ except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
     np = None  # type: ignore[assignment] - "auto" then resolves to the reference engine
 
 from repro.gossip.engines.base import (
+    ArrivalRounds,
     RoundProgram,
     SimulationResult,
     check_initial,
@@ -70,7 +71,6 @@ from repro.gossip.engines.base import (
 from repro.gossip.engines._bitops import (
     WORD_BITS as _WORD_BITS,
     WORD_BYTES as _WORD_BYTES,
-    arrival_tuples as _arrival_tuples,
     numpy_available,
     pack_int as _pack_int,
     popcount_total as _popcount_total,
@@ -352,7 +352,7 @@ class VectorizedEngine:
             knowledge=_unpack_rows(knowledge[old_to_new]),
             coverage_history=tuple(history),
             item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
-            arrival_rounds=None if arrivals is None else _arrival_tuples(arrivals[old_to_new]),
+            arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals[old_to_new]),
             engine_name=self.name,
         )
 

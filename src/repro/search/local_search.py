@@ -1,0 +1,332 @@
+"""Local-search drivers: seeded hill climbing and simulated annealing.
+
+Both drivers walk the :class:`~repro.search.moves.Neighborhood` move graph
+over candidate periods, scoring every candidate through the engine registry
+(:mod:`repro.search.objective`).  Everything is deterministic given the
+``seed``: the same seed replays the same move sequence, the same candidate
+stream and therefore the same winner, which is what the reproducibility
+tests pin.
+
+:func:`synthesize_schedule` is the one-call entry point: it builds the
+constructive seeds (edge colouring, greedy frontier, plus random schedules
+drawn through :func:`repro.gossip.builders.random_systolic_schedule` with a
+shared ``rng`` — the schedule fuzzer doubling as the restart generator),
+scores them as one batch, and runs the selected driver from the best seeds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.gossip.builders import random_systolic_schedule
+from repro.gossip.engines import SimulationEngine, resolve_engine
+from repro.gossip.model import Mode, Round, SystolicSchedule
+from repro.search.constructors import edge_coloring_seed, greedy_frontier_schedule
+from repro.search.moves import Neighborhood
+from repro.search.objective import (
+    ObjectiveValue,
+    evaluate_program,
+    program_for_rounds,
+)
+from repro.topologies.base import Digraph
+
+__all__ = ["SearchResult", "hill_climb", "simulated_annealing", "synthesize_schedule"]
+
+#: Strategy names accepted by :func:`synthesize_schedule`.
+STRATEGIES = ("hill", "anneal")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one search run.
+
+    ``schedule`` is the winning period as a fully validated
+    :class:`~repro.gossip.model.SystolicSchedule`; ``objective`` its score;
+    ``evaluations`` counts engine runs (the search's unit of cost);
+    ``history`` traces the best score after each improvement (for plots and
+    convergence assertions).
+    """
+
+    schedule: SystolicSchedule
+    objective: ObjectiveValue
+    evaluations: int
+    iterations: int
+    restarts: int
+    seed_name: str
+    history: tuple[float, ...]
+
+    @property
+    def found_rounds(self) -> int | None:
+        """Gossip rounds of the winner (``None`` if it never completed)."""
+        return self.objective.rounds
+
+
+def _key(value: ObjectiveValue, rounds: tuple[Round, ...]) -> tuple[float, int, int]:
+    """Comparison key: score, then fewer rounds per period, then fewer arcs.
+
+    Among equally fast schedules the search prefers shorter periods and
+    sparser rounds — cheaper to certify, cheaper to deploy.
+    """
+    return (value.score, len(rounds), sum(len(r) for r in rounds))
+
+
+class _Evaluator:
+    """Counts engine runs and owns the resolved backend for one search."""
+
+    def __init__(self, graph: Digraph, engine, objective: str) -> None:
+        self.graph = graph
+        self.engine: SimulationEngine = resolve_engine(engine)
+        self.objective = objective
+        self.evaluations = 0
+
+    def __call__(self, rounds: tuple[Round, ...]) -> ObjectiveValue:
+        self.evaluations += 1
+        return evaluate_program(
+            program_for_rounds(self.graph, rounds), self.engine, objective=self.objective
+        )
+
+
+def _finalize(
+    schedule: SystolicSchedule,
+    best_rounds: tuple[Round, ...],
+    best_value: ObjectiveValue,
+    evaluator: _Evaluator,
+    iterations: int,
+    restarts: int,
+    seed_name: str,
+    history: list[float],
+) -> SearchResult:
+    winner = SystolicSchedule(
+        schedule.graph,
+        best_rounds,
+        mode=schedule.mode,
+        name=f"{schedule.graph.name}-opt-{schedule.mode.value}-s{len(best_rounds)}",
+    )
+    return SearchResult(
+        schedule=winner,
+        objective=best_value,
+        evaluations=evaluator.evaluations,
+        iterations=iterations,
+        restarts=restarts,
+        seed_name=seed_name,
+        history=tuple(history),
+    )
+
+
+def hill_climb(
+    schedule: SystolicSchedule,
+    *,
+    objective: str = "gossip_rounds",
+    seed: int = 0,
+    rng: random.Random | None = None,
+    max_iters: int = 200,
+    patience: int = 60,
+    neighborhood: Neighborhood | None = None,
+    engine: str | SimulationEngine | None = "auto",
+    initial_value: ObjectiveValue | None = None,
+) -> SearchResult:
+    """First-improvement hill climbing from one seed schedule.
+
+    Proposes one random neighbour per iteration and accepts it when its
+    comparison key (score, then period, then activation count) improves;
+    stops after ``max_iters`` proposals or ``patience`` consecutive
+    rejections.  ``initial_value`` skips re-scoring a seed the caller
+    already evaluated (``synthesize_schedule`` scores all seeds as a batch).
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
+    evaluator = _Evaluator(schedule.graph, engine, objective)
+
+    current = tuple(schedule.base_rounds)
+    current_value = initial_value if initial_value is not None else evaluator(current)
+    best_rounds, best_value = current, current_value
+    history = [current_value.score]
+
+    stale = 0
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        candidate = moves.propose(current, rng)
+        if candidate == current:
+            stale += 1
+            if stale >= patience:
+                break
+            continue
+        value = evaluator(candidate)
+        if _key(value, candidate) < _key(current_value, current):
+            current, current_value = candidate, value
+            stale = 0
+            if _key(value, candidate) < _key(best_value, best_rounds):
+                best_rounds, best_value = candidate, value
+                history.append(value.score)
+        else:
+            stale += 1
+            if stale >= patience:
+                break
+    return _finalize(
+        schedule, best_rounds, best_value, evaluator, iterations, 0,
+        schedule.name, history,
+    )
+
+
+def simulated_annealing(
+    schedule: SystolicSchedule,
+    *,
+    objective: str = "gossip_rounds",
+    seed: int = 0,
+    rng: random.Random | None = None,
+    max_iters: int = 400,
+    initial_temperature: float = 2.0,
+    cooling: float = 0.985,
+    restarts: int = 1,
+    neighborhood: Neighborhood | None = None,
+    engine: str | SimulationEngine | None = "auto",
+    initial_value: ObjectiveValue | None = None,
+) -> SearchResult:
+    """Simulated annealing with geometric cooling and best-state restarts.
+
+    The walk accepts strictly improving neighbours always and worsening ones
+    with probability ``exp(-Δscore / T)``; the temperature decays by
+    ``cooling`` per iteration.  After each of the ``restarts`` reheats the
+    walk restarts *from the best state seen so far* at the initial
+    temperature, which keeps exploration anchored without losing the
+    incumbent.  The returned winner is always the best state ever visited.
+    ``initial_value`` skips re-scoring a pre-evaluated seed, as in
+    :func:`hill_climb`.
+    """
+    if not 0.0 < cooling < 1.0:
+        raise SimulationError(f"cooling must lie in (0, 1), got {cooling}")
+    rng = rng if rng is not None else random.Random(seed)
+    moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
+    evaluator = _Evaluator(schedule.graph, engine, objective)
+
+    best_rounds = tuple(schedule.base_rounds)
+    best_value = initial_value if initial_value is not None else evaluator(best_rounds)
+    history = [best_value.score]
+
+    iterations = 0
+    for restart in range(restarts + 1):
+        current, current_value = best_rounds, best_value
+        temperature = initial_temperature
+        for _ in range(max_iters):
+            iterations += 1
+            candidate = moves.propose(current, rng)
+            if candidate == current:
+                temperature *= cooling
+                continue
+            value = evaluator(candidate)
+            delta = value.score - current_value.score
+            if delta < 0 or (
+                temperature > 1e-12 and rng.random() < math.exp(-delta / temperature)
+            ):
+                current, current_value = candidate, value
+                if _key(value, candidate) < _key(best_value, best_rounds):
+                    best_rounds, best_value = candidate, value
+                    history.append(value.score)
+            temperature *= cooling
+    return _finalize(
+        schedule, best_rounds, best_value, evaluator, iterations, restarts,
+        schedule.name, history,
+    )
+
+
+def synthesize_schedule(
+    graph: Digraph,
+    mode: Mode = Mode.HALF_DUPLEX,
+    *,
+    strategy: str = "anneal",
+    objective: str = "gossip_rounds",
+    seed: int = 0,
+    max_iters: int = 300,
+    restarts: int = 1,
+    random_seeds: int = 1,
+    neighborhood: Neighborhood | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> SearchResult:
+    """Synthesize an s-systolic gossip schedule for ``graph`` under ``mode``.
+
+    Seeds the search with the edge-colouring baseline, the greedy
+    frontier-aware constructor and ``random_seeds`` random schedules (drawn
+    through :func:`~repro.gossip.builders.random_systolic_schedule` with a
+    shared ``rng`` — the differential fuzzer's generator doubling as the
+    restart source), scores all seeds as one batch on a single resolved
+    engine, then runs the chosen local-search driver from the two best
+    seeds and returns the overall winner.  ``restarts`` means annealing
+    reheats for ``strategy="anneal"`` and additional best-state re-walks
+    for ``strategy="hill"``.
+
+    Deterministic for a fixed ``(strategy, objective, seed, …)``
+    configuration; see :mod:`repro.search` for strategy-selection guidance.
+    """
+    if strategy not in STRATEGIES:
+        raise SimulationError(
+            f"unknown search strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    rng = random.Random(seed)
+    resolved = resolve_engine(engine)
+
+    seeds: list[SystolicSchedule] = [
+        edge_coloring_seed(graph, mode),
+        greedy_frontier_schedule(graph, mode),
+    ]
+    baseline_period = seeds[0].period
+    for _ in range(random_seeds):
+        seeds.append(
+            random_systolic_schedule(graph, baseline_period, mode, rng=rng)
+        )
+
+    evaluator = _Evaluator(graph, resolved, objective)
+    scored = sorted(
+        (
+            (evaluator(tuple(s.base_rounds)), s)
+            for s in seeds
+        ),
+        key=lambda pair: _key(pair[0], tuple(pair[1].base_rounds)),
+    )
+    seed_evaluations = evaluator.evaluations
+
+    moves = neighborhood or Neighborhood(graph, mode)
+    # Each entry keeps the *originating* seed's name: a hill pass re-walked
+    # from a previous pass's winner still traces back to the real seed.
+    results: list[tuple[str, SearchResult]] = []
+    for value, candidate in scored[:2]:
+        kwargs = dict(
+            objective=objective,
+            rng=rng,
+            max_iters=max_iters,
+            neighborhood=moves,
+            engine=resolved,
+        )
+        if strategy == "anneal":
+            results.append(
+                (
+                    candidate.name,
+                    simulated_annealing(
+                        candidate, restarts=restarts, initial_value=value, **kwargs
+                    ),
+                )
+            )
+        else:
+            # Random-restart hill climbing: every pass re-walks from the best
+            # schedule so far, the shared rng driving a fresh move sequence.
+            current, current_value = candidate, value
+            for _ in range(max(0, restarts) + 1):
+                run = hill_climb(current, initial_value=current_value, **kwargs)
+                results.append((candidate.name, run))
+                current, current_value = run.schedule, run.objective
+
+    best_seed, best = min(
+        results, key=lambda pair: _key(pair[1].objective, tuple(pair[1].schedule.base_rounds))
+    )
+    total_evaluations = seed_evaluations + sum(r.evaluations for _, r in results)
+    return SearchResult(
+        schedule=best.schedule,
+        objective=best.objective,
+        evaluations=total_evaluations,
+        iterations=sum(r.iterations for _, r in results),
+        restarts=restarts,
+        seed_name=best_seed,
+        history=best.history,
+    )

@@ -1,0 +1,262 @@
+"""Neighbourhood / move model over systolic periods.
+
+A candidate is a tuple of rounds (the period of a
+:class:`~repro.gossip.model.SystolicSchedule`); every move returns a new
+tuple that is a valid period *by construction* — rounds stay matchings
+(with the full-duplex opposite-pair relaxation), full-duplex rounds stay
+closed under arc reversal, and only arcs of the underlying digraph are ever
+introduced.  This is what lets the search drivers skip per-candidate
+validation: :mod:`repro.gossip.validation` accepts everything the
+neighbourhood can produce (and the test suite re-checks that claim on
+synthesized winners).
+
+The move kinds mirror the issue's model:
+
+* **resequencing** — swap two rounds, or rotate the period (gossip time is
+  *not* invariant under either: the same matchings in a different order
+  pipeline information differently);
+* **round surgery** — drop an arc/pair from a round, add a non-conflicting
+  arc/pair, or reverse a single arc (half-duplex) / an entire round;
+* **period resizing** — insert a fresh random matching (period + 1) or
+  delete a round (period − 1).
+
+:meth:`Neighborhood.propose` draws one applicable move at random; the
+drivers own the accept/reject logic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import Mode, Round, make_round
+from repro.topologies.base import Arc, Digraph, Vertex
+
+__all__ = ["Neighborhood", "MOVE_KINDS", "activation_units"]
+
+#: The move kinds a :class:`Neighborhood` can propose, by name.
+MOVE_KINDS = (
+    "swap_rounds",
+    "rotate",
+    "drop_arc",
+    "add_arc",
+    "reverse_arc",
+    "reverse_round",
+    "insert_round",
+    "drop_round",
+)
+
+Rounds = tuple[Round, ...]
+
+
+def _endpoints(round_arcs: Round) -> set[Vertex]:
+    return {v for arc in round_arcs for v in arc}
+
+
+def activation_units(graph: Digraph, mode: Mode) -> list[tuple[Arc, Arc]]:
+    """Activation units as ``(forward, backward)`` arc pairs.
+
+    In the full-duplex mode a unit is an undirected edge (both opposite
+    arcs, canonically ordered); otherwise a unit is a single arc and
+    ``forward == backward``.  Shared by the move model and the greedy
+    constructor so the canonicalization cannot drift between them.
+    """
+    if mode is Mode.FULL_DUPLEX:
+        units: list[tuple[Arc, Arc]] = []
+        for edge in graph.undirected_edges():
+            u, v = sorted(edge, key=repr)
+            units.append(((u, v), (v, u)))
+        return units
+    return [((t, h), (t, h)) for t, h in graph.arcs]
+
+
+class Neighborhood:
+    """Validity-preserving move generator for one (graph, mode) pair.
+
+    Parameters
+    ----------
+    graph, mode:
+        The digraph and communication mode every candidate lives on.
+    min_period, max_period:
+        Bounds the period-resizing moves respect.  The default floor of 1
+        keeps candidates non-empty; callers synthesizing schedules they
+        intend to certify set ``min_period=3`` (Theorem 4.1 certificates
+        need ``s ≥ 3``).
+    activation_probability:
+        Density of freshly inserted random rounds.
+    """
+
+    def __init__(
+        self,
+        graph: Digraph,
+        mode: Mode,
+        *,
+        min_period: int = 1,
+        max_period: int | None = None,
+        activation_probability: float = 0.9,
+    ) -> None:
+        if min_period < 1:
+            raise ProtocolError(f"min_period must be >= 1, got {min_period}")
+        if max_period is not None and max_period < min_period:
+            raise ProtocolError(
+                f"max_period {max_period} is below min_period {min_period}"
+            )
+        self.graph = graph
+        self.mode = mode
+        self.min_period = min_period
+        self.max_period = max_period
+        self.activation_probability = activation_probability
+        self._pairs: list[tuple[Arc, Arc]] = activation_units(graph, mode)
+        self._moves: dict[str, Callable[[Rounds, random.Random], Rounds | None]] = {
+            "swap_rounds": self._swap_rounds,
+            "rotate": self._rotate,
+            "drop_arc": self._drop_arc,
+            "add_arc": self._add_arc,
+            "reverse_arc": self._reverse_arc,
+            "reverse_round": self._reverse_round,
+            "insert_round": self._insert_round,
+            "drop_round": self._drop_round,
+        }
+
+    # -- individual moves (return None when not applicable) -------------- #
+    def _swap_rounds(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        if len(rounds) < 2:
+            return None
+        i, j = rng.sample(range(len(rounds)), 2)
+        out = list(rounds)
+        out[i], out[j] = out[j], out[i]
+        return tuple(out)
+
+    def _rotate(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        if len(rounds) < 2:
+            return None
+        k = rng.randrange(1, len(rounds))
+        return rounds[k:] + rounds[:k]
+
+    def _drop_arc(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        candidates = [i for i, r in enumerate(rounds) if r]
+        if not candidates:
+            return None
+        i = rng.choice(candidates)
+        round_arcs = list(rounds[i])
+        if self.mode is Mode.FULL_DUPLEX:
+            tail, head = rng.choice(round_arcs)
+            removed = {(tail, head), (head, tail)}
+            new_round = [a for a in round_arcs if a not in removed]
+        else:
+            round_arcs.pop(rng.randrange(len(round_arcs)))
+            new_round = round_arcs
+        out = list(rounds)
+        out[i] = make_round(new_round)
+        return tuple(out)
+
+    def _add_arc(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        if not rounds:
+            return None
+        i = rng.randrange(len(rounds))
+        used = _endpoints(rounds[i])
+        free = [
+            pair
+            for pair in self._pairs
+            if not ({v for arc in pair for v in arc} & used)
+        ]
+        if not free:
+            return None
+        forward, backward = rng.choice(free)
+        additions = (
+            [forward, backward] if self.mode is Mode.FULL_DUPLEX else [forward]
+        )
+        out = list(rounds)
+        out[i] = make_round(list(rounds[i]) + additions)
+        return tuple(out)
+
+    def _reverse_arc(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        # Full-duplex rounds are closed under reversal already; in the
+        # directed mode the opposite arc may not exist in the digraph.
+        if self.mode is Mode.FULL_DUPLEX:
+            return None
+        candidates = [i for i, r in enumerate(rounds) if r]
+        if not candidates:
+            return None
+        i = rng.choice(candidates)
+        round_arcs = list(rounds[i])
+        j = rng.randrange(len(round_arcs))
+        tail, head = round_arcs[j]
+        if not self.graph.has_arc(head, tail):
+            return None
+        round_arcs[j] = (head, tail)
+        out = list(rounds)
+        out[i] = make_round(round_arcs)
+        return tuple(out)
+
+    def _reverse_round(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        if self.mode is Mode.FULL_DUPLEX:
+            return None
+        candidates = [i for i, r in enumerate(rounds) if r]
+        if not candidates:
+            return None
+        i = rng.choice(candidates)
+        reversed_arcs = [(h, t) for t, h in rounds[i]]
+        if not all(self.graph.has_arc(t, h) for t, h in reversed_arcs):
+            return None
+        out = list(rounds)
+        out[i] = make_round(reversed_arcs)
+        return tuple(out)
+
+    def random_round(self, rng: random.Random) -> Round:
+        """One fresh random matching (the insert move's payload)."""
+        order = list(range(len(self._pairs)))
+        rng.shuffle(order)
+        used: set[Vertex] = set()
+        arcs: list[Arc] = []
+        for k in order:
+            forward, backward = self._pairs[k]
+            endpoints = {v for arc in (forward, backward) for v in arc}
+            if endpoints & used:
+                continue
+            if rng.random() <= self.activation_probability:
+                used |= endpoints
+                arcs.append(forward)
+                if self.mode is Mode.FULL_DUPLEX:
+                    arcs.append(backward)
+        return make_round(arcs)
+
+    def _insert_round(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        if self.max_period is not None and len(rounds) >= self.max_period:
+            return None
+        i = rng.randrange(len(rounds) + 1)
+        return rounds[:i] + (self.random_round(rng),) + rounds[i:]
+
+    def _drop_round(self, rounds: Rounds, rng: random.Random) -> Rounds | None:
+        if len(rounds) <= self.min_period:
+            return None
+        i = rng.randrange(len(rounds))
+        return rounds[:i] + rounds[i + 1 :]
+
+    # -- driver API ------------------------------------------------------ #
+    def propose(
+        self,
+        rounds: Sequence[Round],
+        rng: random.Random,
+        *,
+        kinds: Sequence[str] | None = None,
+        attempts: int = 8,
+    ) -> Rounds:
+        """One random neighbouring period (valid by construction).
+
+        Draws up to ``attempts`` moves from ``kinds`` (default: all of
+        :data:`MOVE_KINDS`) until one applies; returns the input unchanged
+        when none does, so drivers never have to special-case dead ends.
+        """
+        base = tuple(rounds)
+        names = list(kinds) if kinds is not None else list(MOVE_KINDS)
+        unknown = [k for k in names if k not in self._moves]
+        if unknown:
+            raise ProtocolError(f"unknown move kind(s) {unknown!r}")
+        for _ in range(attempts):
+            move = self._moves[rng.choice(names)]
+            result = move(base, rng)
+            if result is not None and result != base:
+                return result
+        return base
