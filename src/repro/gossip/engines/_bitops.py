@@ -24,12 +24,14 @@ __all__ = [
     "WORD_MASK",
     "BIT_LUT",
     "numpy_available",
+    "packed_width",
     "pack_int",
     "unpack_words",
     "unpack_rows",
     "popcount_total",
     "unpack_bits",
     "set_bit_positions",
+    "expand_delta_words",
 ]
 
 WORD_BITS = 64
@@ -51,6 +53,17 @@ def numpy_available() -> bool:
     optional dependencies.
     """
     return np is not None and hasattr(np, "bitwise_count")
+
+
+def packed_width(n: int, target: int, start: list[int]) -> int:
+    """Words per row for ``n`` item bits plus any caller-supplied high bits.
+
+    Every packed-bitset engine must agree on this width: the ``n``
+    vertex-item bits always fit, and a custom initial state or target mask
+    carrying higher bits widens the rows so no knowledge is truncated.
+    """
+    max_bits = max([n, target.bit_length(), *(v.bit_length() for v in start)])
+    return max(1, (max_bits + WORD_BITS - 1) // WORD_BITS)
 
 
 def pack_int(value: int, words: int) -> np.ndarray:
@@ -103,3 +116,19 @@ def set_bit_positions(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     bits = (words[:, None] & BIT_LUT[None, :]) != 0
     flat = np.nonzero(bits)
     return rows_w[flat[0]], cols_w[flat[0]] * WORD_BITS + flat[1]
+
+
+def expand_delta_words(words: np.ndarray, word_cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(element, item) coordinates of the set bits of a flat delta-word list.
+
+    ``words`` is a 1-D uint64 array of (typically nonzero) delta words and
+    ``word_cols`` their word-column indices.  Returns ``(elements, items)``
+    where ``elements`` indexes back into ``words`` (so callers can map each
+    item to its producing row) and ``items`` is the absolute bit position
+    ``word_cols[element] * 64 + bit``.  This is the word-level engines' way
+    of lowering word-granular deltas to (vertex, item) events only when an
+    analysis actually needs them.
+    """
+    bits = (words[:, None] & BIT_LUT[None, :]) != 0
+    elements, offsets = np.nonzero(bits)
+    return elements, word_cols[elements] * WORD_BITS + offsets

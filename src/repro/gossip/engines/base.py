@@ -312,9 +312,14 @@ class SimulationResult:
 class SimulationEngine(Protocol):
     """What a simulation backend must provide to join the engine registry.
 
-    A third backend (GPU, bit-sliced C extension, distributed, …) only needs
+    A new backend (GPU, bit-sliced C extension, distributed, …) only needs
     a ``name`` attribute and a :meth:`run` method with these exact semantics,
-    plus a ``register_engine`` call — see :mod:`repro.gossip.engines`.
+    plus a ``register_engine`` call — see :mod:`repro.gossip.engines`.  Four
+    backends implement the protocol today (reference, vectorized, frontier,
+    hybrid); the registry-parametrized differential and fuzz suites hold all
+    of them — and anything registered later — to bit-for-bit agreement,
+    including the ``arrival_rounds`` matrix under every tracking-flag
+    combination.
     """
 
     name: str

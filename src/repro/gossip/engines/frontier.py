@@ -71,6 +71,7 @@ from repro.gossip.engines._bitops import (
     WORD_SHIFT as _WORD_SHIFT,
     numpy_available,
     pack_int as _pack_int,
+    packed_width as _packed_width,
     set_bit_positions as _set_bit_positions,
     unpack_rows as _unpack_rows,
 )
@@ -263,8 +264,7 @@ class FrontierEngine:
         check_initial(start, n)
         full = full_mask(n) if target_mask is None else target_mask
 
-        max_bits = max([n, full.bit_length(), *(v.bit_length() for v in start)])
-        words = max(1, (max_bits + _WORD_MASK) // 64)
+        words = _packed_width(n, full, start)
         bit_capacity = words * 64
         knowledge = np.empty((n, words), dtype=np.uint64)
         for i, value in enumerate(start):

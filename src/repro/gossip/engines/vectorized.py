@@ -69,10 +69,10 @@ from repro.gossip.engines.base import (
     iter_set_bits,
 )
 from repro.gossip.engines._bitops import (
-    WORD_BITS as _WORD_BITS,
     WORD_BYTES as _WORD_BYTES,
     numpy_available,
     pack_int as _pack_int,
+    packed_width as _packed_width,
     popcount_total as _popcount_total,
     set_bit_positions as _set_bit_positions,
     unpack_rows as _unpack_rows,
@@ -290,8 +290,7 @@ class VectorizedEngine:
 
         # Word width: enough for the n item bits, widened if a caller-supplied
         # initial state or target mask carries higher bits.
-        max_bits = max([n, full.bit_length(), *(v.bit_length() for v in start)])
-        words = max(1, (max_bits + _WORD_BITS - 1) // _WORD_BITS)
+        words = _packed_width(n, full, start)
 
         # Rows live in an internal permuted order chosen for memory locality;
         # item bit columns keep the public vertex indexing throughout.

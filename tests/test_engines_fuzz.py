@@ -17,7 +17,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gossip.builders import random_systolic_schedule
-from repro.gossip.engines import available_engines, get_engine
+from repro.gossip.engines import (
+    HybridEngine,
+    VectorizedEngine,
+    available_engines,
+    get_engine,
+)
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Mode, make_round
 from repro.topologies.base import Digraph
@@ -28,7 +33,7 @@ from repro.topologies.classic import cycle_graph, grid_2d, path_graph
 from test_engines_differential import assert_results_identical
 
 CANDIDATES = tuple(name for name in available_engines() if name != "reference")
-assert {"vectorized", "frontier"} <= set(CANDIDATES)
+assert {"vectorized", "frontier", "hybrid"} <= set(CANDIDATES)
 
 FUZZ = settings(max_examples=120, deadline=None, derandomize=True)
 
@@ -40,6 +45,42 @@ def check_all_engines(program: RoundProgram, options: dict, context=""):
         got = get_engine(candidate).run(program, **options)
         assert got.engine_name == candidate
         assert_results_identical(reference, got, (context, candidate, options))
+
+
+@st.composite
+def engine_constructions(draw):
+    """Freshly constructed engine instances with drawn constructor kwargs.
+
+    The registry holds one default-configured singleton per backend; this
+    strategy additionally sweeps the knobs the constructors expose — the
+    hybrid engine's dense-fallback threshold (0.0 = always dense, 1.0 =
+    always sparse) and the vectorized kernel's tile size (``None`` = the
+    untiled PR 1 kernel, small values force many tiles even on tiny
+    instances).
+    """
+    engines = [
+        HybridEngine(
+            dense_threshold=draw(st.sampled_from([0.0, 0.125, 0.5, 1.0]))
+        ),
+        VectorizedEngine(tile_bytes=draw(st.sampled_from([None, 1 << 10]))),
+    ]
+    return engines
+
+
+def check_constructed_engines(program: RoundProgram, engines, options: dict, context=""):
+    """Drawn-kwargs engines must match the oracle on every field — and on
+    the ``arrival_rounds`` matrix under *every* drawn tracking-flag
+    combination, so arrival tracking is re-checked with the matrix forced
+    on alongside whatever flags the strategy picked."""
+    forced = dict(options, track_arrivals=True)
+    reference = get_engine("reference").run(program, **options)
+    reference_tracked = get_engine("reference").run(program, **forced)
+    assert reference_tracked.arrival_rounds is not None
+    for engine in engines:
+        got = engine.run(program, **options)
+        assert_results_identical(reference, got, (context, engine, options))
+        tracked = engine.run(program, **forced)
+        assert_results_identical(reference_tracked, tracked, (context, engine, forced))
 
 
 @st.composite
@@ -147,3 +188,19 @@ def test_cycle_schedule_fuzz_agreement(n, period, seed, max_rounds):
     schedule = random_systolic_schedule(cycle_graph(n), period, Mode.HALF_DUPLEX, seed=seed)
     program = RoundProgram.from_schedule(schedule, max_rounds)
     check_all_engines(program, {"track_history": True}, "cycle")
+
+
+@FUZZ
+@given(case=directed_programs(), engines=engine_constructions())
+def test_directed_fuzz_constructor_kwargs(case, engines):
+    """Arbitrary directed programs under drawn engine-constructor kwargs."""
+    program, options = case
+    check_constructed_engines(program, engines, options, "directed-kwargs")
+
+
+@FUZZ
+@given(case=duplex_programs(), engines=engine_constructions())
+def test_duplex_fuzz_constructor_kwargs(case, engines):
+    """Random duplex matchings under drawn engine-constructor kwargs."""
+    program, options = case
+    check_constructed_engines(program, engines, options, "duplex-kwargs")

@@ -1,0 +1,150 @@
+"""Property fuzzer for the schedule-search move model.
+
+``search.moves.Neighborhood`` promises *validity by construction*: whatever
+sequence of moves a driver applies, every candidate stays a legal systolic
+period — rounds are matchings (with the full-duplex opposite-pair
+relaxation), full-duplex rounds are closed under arc reversal, only arcs of
+the underlying digraph ever appear, and the period stays inside the
+configured bounds.  The local-search drivers *skip per-candidate
+revalidation* on the strength of that promise, so this suite attacks it
+directly: seeded Hypothesis strategies draw random digraphs (symmetric for
+the duplex modes, arbitrary orientations for the directed mode), random
+period bounds, random starting candidates and long random move chains —
+including restricted move-kind subsets — and check every intermediate
+candidate against :mod:`repro.gossip.validation`.  The suite is
+``derandomize``d so CI failures replay deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.gossip.model import Mode
+from repro.gossip.validation import validate_round
+from repro.search.moves import MOVE_KINDS, Neighborhood
+from repro.topologies.base import Digraph
+
+FUZZ = settings(max_examples=100, deadline=None, derandomize=True)
+
+MODES = (Mode.DIRECTED, Mode.HALF_DUPLEX, Mode.FULL_DUPLEX)
+
+
+@st.composite
+def random_digraphs(draw, mode: Mode):
+    """A random digraph compatible with ``mode``.
+
+    The duplex modes get symmetric digraphs (both orientations of every
+    chosen undirected edge); the directed mode additionally drops a random
+    subset of orientations, producing genuinely asymmetric arc sets.
+    """
+    n = draw(st.integers(2, 8))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True, min_size=1, max_size=12))
+    arcs = []
+    for u, v in chosen:
+        if mode is Mode.DIRECTED:
+            orientation = draw(st.sampled_from(["uv", "vu", "both"]))
+        else:
+            orientation = "both"
+        if orientation in ("uv", "both"):
+            arcs.append((u, v))
+        if orientation in ("vu", "both"):
+            arcs.append((v, u))
+    return Digraph(range(n), arcs, name=f"fuzz-moves-{n}")
+
+
+@st.composite
+def move_cases(draw):
+    mode = draw(st.sampled_from(MODES))
+    graph = draw(random_digraphs(mode))
+    min_period = draw(st.integers(1, 3))
+    max_period = draw(st.one_of(st.none(), st.integers(min_period, min_period + 4)))
+    neighborhood = Neighborhood(
+        graph,
+        mode,
+        min_period=min_period,
+        max_period=max_period,
+        activation_probability=draw(st.sampled_from([0.4, 0.9, 1.0])),
+    )
+    seed = draw(st.integers(0, 10_000))
+    start_period = draw(
+        st.integers(min_period, max_period if max_period is not None else min_period + 4)
+    )
+    kinds = draw(
+        st.one_of(
+            st.none(),
+            st.lists(st.sampled_from(MOVE_KINDS), unique=True, min_size=1),
+        )
+    )
+    steps = draw(st.integers(1, 25))
+    return neighborhood, seed, start_period, kinds, steps
+
+
+def assert_valid_candidate(neighborhood: Neighborhood, rounds, context) -> None:
+    graph_arcs = set(neighborhood.graph.arcs)
+    assert neighborhood.min_period <= len(rounds), context
+    if neighborhood.max_period is not None:
+        assert len(rounds) <= neighborhood.max_period, context
+    for position, round_arcs in enumerate(rounds):
+        # Only arcs of the underlying digraph may ever be introduced.
+        assert set(round_arcs) <= graph_arcs, (context, position)
+        # Matching validity and (full-duplex) pairing, straight from the
+        # Definition 3.1 checker.
+        validate_round(round_arcs, neighborhood.mode)
+
+
+@FUZZ
+@given(case=move_cases())
+def test_every_move_preserves_validity(case):
+    """Random move chains: every intermediate candidate stays legal."""
+    neighborhood, seed, start_period, kinds, steps = case
+    rng = random.Random(seed)
+    rounds = tuple(neighborhood.random_round(rng) for _ in range(start_period))
+    assert_valid_candidate(neighborhood, rounds, "start")
+    for step in range(steps):
+        rounds = neighborhood.propose(rounds, rng, kinds=kinds)
+        assert_valid_candidate(neighborhood, rounds, ("step", step, kinds))
+
+
+@FUZZ
+@given(case=move_cases())
+def test_propose_is_seed_deterministic(case):
+    """Identical rng seeds must replay the exact same move chain."""
+    neighborhood, seed, start_period, kinds, steps = case
+
+    def walk():
+        rng = random.Random(seed)
+        rounds = tuple(neighborhood.random_round(rng) for _ in range(start_period))
+        trail = [rounds]
+        for _ in range(steps):
+            rounds = neighborhood.propose(rounds, rng, kinds=kinds)
+            trail.append(rounds)
+        return trail
+
+    assert walk() == walk()
+
+
+@FUZZ
+@given(case=move_cases(), data=st.data())
+def test_single_move_kinds_preserve_validity(case, data):
+    """Each move kind in isolation keeps candidates legal (or is a no-op)."""
+    neighborhood, seed, start_period, _, _ = case
+    kind = data.draw(st.sampled_from(MOVE_KINDS))
+    rng = random.Random(seed)
+    rounds = tuple(neighborhood.random_round(rng) for _ in range(start_period))
+    moved = neighborhood.propose(rounds, rng, kinds=[kind])
+    assert_valid_candidate(neighborhood, moved, ("single-kind", kind))
+
+
+def test_unknown_move_kind_rejected():
+    graph = Digraph(range(3), [(0, 1), (1, 0), (1, 2), (2, 1)], name="P3")
+    neighborhood = Neighborhood(graph, Mode.HALF_DUPLEX)
+    rng = random.Random(0)
+    rounds = (neighborhood.random_round(rng),)
+    with pytest.raises(ProtocolError):
+        neighborhood.propose(rounds, rng, kinds=["swap_rounds", "not-a-move"])
