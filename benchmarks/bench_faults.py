@@ -1,0 +1,159 @@
+"""Benchmark FAULTS — batched Monte-Carlo fault injection vs looped runs.
+
+Two views of the :mod:`repro.faults` subsystem, recorded in the session
+report (and, when ``BENCH_FAULTS_JSON`` points at a file, dumped as JSON so
+CI can archive the trajectory alongside the engine and search timings):
+
+* **speedup** — the acceptance gate: the batched ``(n, trials, W)`` tensor
+  kernel must beat ``trials`` independent single-run simulations (the
+  looped fallback on the vectorized engine — each trial paying its own
+  round compilation and per-round dispatch) by at least
+  ``SPEEDUP_FLOOR``× at n = 1024, trials = 256, on identical seeded fault
+  realisations.  Both paths consume the same sample, so the run doubles as
+  a full-scale bit-exactness check.
+* **model throughput** — batched trials/second per fault model, the number
+  robustness studies are budgeted from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.runner import format_table
+from repro.faults import BernoulliArcFaults, CrashFaults, monte_carlo
+from repro.gossip.model import Mode
+from repro.gossip.simulation import gossip_time
+from repro.protocols.cycle import cycle_systolic_schedule
+
+#: Instance and trial count of the speedup gate (the acceptance criterion).
+SPEEDUP_N = 1024
+SPEEDUP_TRIALS = 256
+
+#: Per-call failure probability of the gate: low enough that trials
+#: complete (so both paths do the full completion-detection work), high
+#: enough that every round carries real fault plumbing.
+SPEEDUP_P = 0.02
+
+#: Minimum batched-over-looped speedup (measured ≈ 26× on the dev box; the
+#: floor leaves headroom for slower shared CI runners).
+SPEEDUP_FLOOR = 5.0
+
+
+def _maybe_dump_json(section: str, rows: list[dict]) -> None:
+    """Merge ``rows`` into the ``BENCH_FAULTS_JSON`` file (for CI artifacts)."""
+    path = os.environ.get("BENCH_FAULTS_JSON")
+    if not path:
+        return
+    data: dict = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+    data[section] = rows
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+def test_batched_montecarlo_speedup(report_sink):
+    """Batched tensor kernel ≥ 5× over trials× single-run loops, bit-exact."""
+    schedule = cycle_systolic_schedule(SPEEDUP_N, Mode.HALF_DUPLEX)
+    model = BernoulliArcFaults(SPEEDUP_P)
+
+    start = time.perf_counter()
+    batched = monte_carlo(
+        schedule, model, trials=SPEEDUP_TRIALS, seed=0, method="batched"
+    )
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped = monte_carlo(
+        schedule,
+        model,
+        trials=SPEEDUP_TRIALS,
+        seed=0,
+        engine="vectorized",
+        method="looped",
+    )
+    looped_seconds = time.perf_counter() - start
+
+    assert looped.completion_rounds == batched.completion_rounds
+    assert looped.knowledge == batched.knowledge
+
+    speedup = looped_seconds / batched_seconds
+    rows = [
+        {
+            "instance": f"C({SPEEDUP_N})",
+            "model": model.name,
+            "trials": SPEEDUP_TRIALS,
+            "horizon": batched.horizon,
+            "completion_rate": batched.completion_rate,
+            "batched_seconds": batched_seconds,
+            "looped_seconds": looped_seconds,
+            "speedup": speedup,
+        }
+    ]
+    report_sink(
+        f"FAULTS: batched Monte-Carlo vs {SPEEDUP_TRIALS}x single-run loop "
+        f"on C({SPEEDUP_N})",
+        format_table(
+            rows,
+            [
+                "instance",
+                "model",
+                "trials",
+                "horizon",
+                "completion_rate",
+                "batched_seconds",
+                "looped_seconds",
+                "speedup",
+            ],
+        ),
+    )
+    _maybe_dump_json("montecarlo_speedup", rows)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched Monte-Carlo path only {speedup:.1f}x over the looped path "
+        f"(floor {SPEEDUP_FLOOR}x) at n={SPEEDUP_N}, trials={SPEEDUP_TRIALS}"
+    )
+
+
+def test_fault_model_throughput(report_sink):
+    """Batched trials/second per fault model (budgeting numbers, no gate)."""
+    schedule = cycle_systolic_schedule(SPEEDUP_N, Mode.HALF_DUPLEX)
+    nominal = gossip_time(schedule, engine="vectorized")
+    rows = []
+    for model in (BernoulliArcFaults(0.05), CrashFaults(8)):
+        start = time.perf_counter()
+        result = monte_carlo(
+            schedule, model, trials=SPEEDUP_TRIALS, seed=1, method="batched"
+        )
+        elapsed = time.perf_counter() - start
+        assert all(
+            rounds is None or rounds >= nominal for rounds in result.completion_rounds
+        ), "faults can only delay gossip (arc monotonicity)"
+        rows.append(
+            {
+                "model": model.name,
+                "trials": result.trials,
+                "horizon": result.horizon,
+                "completion_rate": result.completion_rate,
+                "seconds": elapsed,
+                "trials_per_second": result.trials / elapsed,
+            }
+        )
+    report_sink(
+        f"FAULTS: batched Monte-Carlo throughput per model on C({SPEEDUP_N})",
+        format_table(
+            rows,
+            [
+                "model",
+                "trials",
+                "horizon",
+                "completion_rate",
+                "seconds",
+                "trials_per_second",
+            ],
+        ),
+    )
+    _maybe_dump_json("model_throughput", rows)

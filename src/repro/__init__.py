@@ -15,7 +15,11 @@ The package has four layers:
   bounds and the harness that regenerates every table of the paper;
 * :mod:`repro.search` — schedule synthesis: local search over systolic
   periods with certified ``(found, lower_bound, gap)`` reports connecting
-  the simulator to the paper's bounds.
+  the simulator to the paper's bounds;
+* :mod:`repro.faults` — fault injection & robustness: Bernoulli / crash /
+  adversarial fault models, a batched Monte-Carlo trial driver, and
+  robustness metrics (plus the fault-aware ``robust_gossip_rounds``
+  search objective).
 
 Quick start::
 
@@ -46,9 +50,23 @@ from repro.exceptions import (
     TopologyError,
     ValidationError,
 )
+from repro.faults import (
+    AdversarialArcFaults,
+    BernoulliArcFaults,
+    CrashFaults,
+    FaultTrialResult,
+    monte_carlo,
+    worst_case_gossip_time,
+)
 from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
 from repro.gossip.simulation import broadcast_time, gossip_time, simulate, simulate_systolic
-from repro.search import GapReport, SearchResult, certified_gap, synthesize_schedule
+from repro.search import (
+    GapReport,
+    RobustnessSpec,
+    SearchResult,
+    certified_gap,
+    synthesize_schedule,
+)
 
 __version__ = "1.1.0"
 
@@ -89,4 +107,12 @@ __all__ = [
     "GapReport",
     "synthesize_schedule",
     "certified_gap",
+    "RobustnessSpec",
+    # fault injection & robustness
+    "BernoulliArcFaults",
+    "CrashFaults",
+    "AdversarialArcFaults",
+    "FaultTrialResult",
+    "monte_carlo",
+    "worst_case_gossip_time",
 ]

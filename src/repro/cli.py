@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     repro-gossip search               # synthesized schedules vs. bounds table
     repro-gossip optimize --family cycle --size 12
                                       # synthesize one schedule + certify gap
+    repro-gossip robustness --family cycle --size 64 --model bernoulli --p 0.1
+                                      # Monte-Carlo fault-injection analysis
     repro-gossip all                  # everything (the EXPERIMENTS.md source)
 
 or equivalently ``python -m repro <command>``.  Simulation-backed commands
@@ -69,6 +71,9 @@ OPTIMIZE_FAMILIES = {
     "torus": (2, torus_2d),
     "debruijn": (2, de_bruijn),
 }
+
+#: Fault models the ``robustness`` subcommand knows (see repro.faults.models).
+FAULT_MODELS = ("bernoulli", "crash", "adversarial")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,7 +161,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra passes restarted from the best state: annealing reheats, "
         "or repeated hill-climb walks (default 1)",
     )
+    optimize.add_argument(
+        "--fault-p",
+        type=float,
+        default=0.1,
+        help="Bernoulli call-failure probability behind the "
+        "robust_gossip_rounds objective (default 0.1; ignored otherwise)",
+    )
+    optimize.add_argument(
+        "--fault-trials",
+        type=int,
+        default=8,
+        help="fault trials per candidate for the robust_gossip_rounds "
+        "objective (default 8; ignored otherwise)",
+    )
     _add_engine_flag(optimize)
+    robustness = sub.add_parser(
+        "robustness",
+        help="Monte-Carlo fault-injection analysis of one instance's schedule",
+    )
+    robustness.add_argument(
+        "--family",
+        choices=sorted(OPTIMIZE_FAMILIES),
+        required=True,
+        help="topology family to build the instance from",
+    )
+    robustness.add_argument(
+        "--size",
+        required=True,
+        help="instance size: one integer (cycle/path/complete/hypercube) or "
+        "two separated by 'x' or ',' (grid/torus/debruijn), e.g. 64 or 4x4",
+    )
+    robustness.add_argument(
+        "--mode",
+        choices=("half-duplex", "full-duplex"),
+        default="half-duplex",
+        help="communication mode (default half-duplex)",
+    )
+    robustness.add_argument(
+        "--model",
+        choices=FAULT_MODELS,
+        default="bernoulli",
+        help="fault model to inject (default bernoulli)",
+    )
+    robustness.add_argument(
+        "--p",
+        type=float,
+        default=0.1,
+        help="per-call failure probability for --model bernoulli (default 0.1)",
+    )
+    robustness.add_argument(
+        "--k",
+        type=int,
+        default=1,
+        help="crashed vertices (crash) or deleted activations per period "
+        "(adversarial); default 1",
+    )
+    robustness.add_argument(
+        "--trials",
+        type=int,
+        default=200,
+        help="Monte-Carlo trials (default 200; adversarial analysis is "
+        "deterministic and ignores this)",
+    )
+    robustness.add_argument("--seed", type=int, default=0, help="fault RNG seed (default 0)")
+    robustness.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="per-trial round budget (default: 3x the fault-free gossip time)",
+    )
+    _add_engine_flag(robustness)
     everything = sub.add_parser("all", help="run every experiment (EXPERIMENTS.md source)")
     _add_engine_flag(everything)
     return parser
@@ -188,11 +263,10 @@ def _parse_size(family: str, size: str) -> tuple[int, ...]:
     return values
 
 
-def _run_optimize(args: argparse.Namespace) -> int:
-    """The ``optimize`` subcommand: synthesize one schedule, certify its gap."""
+def _build_instance(args: argparse.Namespace):
+    """Resolve ``--family``/``--size``/``--mode`` into (graph, mode)."""
     from repro.exceptions import TopologyError
     from repro.gossip.model import Mode
-    from repro.search import certified_gap, synthesize_schedule
 
     _, builder = OPTIMIZE_FAMILIES[args.family]
     try:
@@ -200,6 +274,20 @@ def _run_optimize(args: argparse.Namespace) -> int:
     except TopologyError as exc:
         raise SystemExit(f"invalid --size {args.size!r} for {args.family}: {exc}") from None
     mode = Mode.FULL_DUPLEX if args.mode == "full-duplex" else Mode.HALF_DUPLEX
+    return graph, mode
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    """The ``optimize`` subcommand: synthesize one schedule, certify its gap."""
+    from repro.faults import BernoulliArcFaults
+    from repro.search import RobustnessSpec, certified_gap, synthesize_schedule
+
+    graph, mode = _build_instance(args)
+    robustness = None
+    if args.objective == "robust_gossip_rounds":
+        robustness = RobustnessSpec(
+            BernoulliArcFaults(args.fault_p), trials=args.fault_trials, seed=args.seed
+        )
     result = synthesize_schedule(
         graph,
         mode,
@@ -209,6 +297,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
         max_iters=args.iterations,
         restarts=args.restarts,
         engine=args.engine,
+        robustness=robustness,
     )
     report = certified_gap(
         result.schedule, found=result.found_rounds, engine=args.engine
@@ -237,6 +326,97 @@ def _run_optimize(args: argparse.Namespace) -> int:
     if result.found_rounds is None:
         print("warning: the synthesized schedule never completed gossip")
         return 1
+    return 0
+
+
+def _run_robustness(args: argparse.Namespace) -> int:
+    """The ``robustness`` subcommand: fault-injection analysis of one instance.
+
+    Stress-tests the instance's edge-colouring schedule (the constructive
+    baseline every search run starts from) under the selected fault model.
+    """
+    from repro.faults import (
+        BernoulliArcFaults,
+        CrashFaults,
+        expected_gossip_time,
+        gossip_time_quantile,
+        monte_carlo,
+        reachability_degradation,
+        worst_case_gossip_time,
+    )
+    from repro.gossip.simulation import gossip_time
+    from repro.search import edge_coloring_seed
+
+    graph, mode = _build_instance(args)
+    schedule = edge_coloring_seed(graph, mode)
+
+    if args.model == "adversarial":
+        nominal = gossip_time(schedule, engine=args.engine)
+        report = worst_case_gossip_time(schedule, args.k, engine=args.engine)
+        print(
+            format_table(
+                [
+                    {
+                        "graph": graph.name,
+                        "n": graph.n,
+                        "mode": mode.value,
+                        "k": args.k,
+                        "nominal": nominal,
+                        "worst_case": report.rounds,
+                        "exact": report.exact,
+                        "evaluations": report.evaluations,
+                    }
+                ]
+            )
+        )
+        for slot, arc in report.deletion:
+            print(f"deleted: round slot {slot + 1}, arc {arc!r}")
+        if report.rounds is None:
+            print("warning: the worst-case deletion prevents gossip completion")
+        return 0
+
+    if args.model == "bernoulli":
+        model = BernoulliArcFaults(args.p)
+    else:
+        model = CrashFaults(args.k)
+    result = monte_carlo(
+        schedule,
+        model,
+        trials=args.trials,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        engine=args.engine,
+    )
+    # The driver already ran the fault-free protocol when it derived the
+    # default horizon; only an explicit --max-rounds leaves it unmeasured.
+    nominal = (
+        result.nominal_rounds
+        if result.nominal_rounds is not None
+        else gossip_time(schedule, engine=args.engine)
+    )
+    reach = reachability_degradation(result)
+    mean = expected_gossip_time(result)
+    print(
+        format_table(
+            [
+                {
+                    "graph": graph.name,
+                    "n": graph.n,
+                    "mode": mode.value,
+                    "model": result.model_name,
+                    "trials": result.trials,
+                    "horizon": result.horizon,
+                    "nominal": nominal,
+                    "completion_rate": result.completion_rate,
+                    "mean_rounds": mean,
+                    "p50": gossip_time_quantile(result, 0.5),
+                    "p90": gossip_time_quantile(result, 0.9),
+                    "min_reach": float(reach.min()),
+                    "engine": result.engine_name,
+                }
+            ]
+        )
+    )
     return 0
 
 
@@ -337,6 +517,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     elif command == "optimize":
         return _run_optimize(args)
+    elif command == "robustness":
+        return _run_robustness(args)
     elif command == "all":
         print(run_all(engine=args.engine))
     else:  # pragma: no cover - argparse enforces the choices

@@ -18,6 +18,9 @@
 * :mod:`repro.experiments.search_gaps` — synthesized schedules
   (:mod:`repro.search`) vs. their certified lower bounds per topology
   family and mode, reporting the ``(found, lower_bound, gap)`` triples.
+* :mod:`repro.experiments.robustness` — fault-injection stress tests
+  (:mod:`repro.faults`): nominal vs robust-synthesized schedules under
+  random call failures, with the adversarial worst case alongside.
 * :mod:`repro.experiments.runner` — text-table formatting and an
   "everything" driver used by the CLI and by EXPERIMENTS.md.
 """
@@ -27,6 +30,7 @@ from repro.experiments.fig4 import fig4_table
 from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
 from repro.experiments.fig8 import fig8_table
+from repro.experiments.robustness import robustness_table
 from repro.experiments.sandwich import sandwich_table
 from repro.experiments.search_gaps import search_gaps_table
 from repro.experiments.structure import structure_report
@@ -38,6 +42,7 @@ __all__ = [
     "fig5_table",
     "fig6_table",
     "fig8_table",
+    "robustness_table",
     "sandwich_table",
     "search_gaps_table",
     "structure_report",

@@ -16,6 +16,7 @@ from repro.experiments.fig4 import fig4_table
 from repro.experiments.fig5 import fig5_table
 from repro.experiments.fig6 import fig6_table
 from repro.experiments.fig8 import fig8_table
+from repro.experiments.robustness import ROBUSTNESS_COLUMNS, robustness_table
 from repro.experiments.sandwich import sandwich_table
 from repro.experiments.search_gaps import SEARCH_GAP_COLUMNS, search_gaps_table
 from repro.experiments.structure import render_matrix, structure_report
@@ -27,6 +28,7 @@ __all__ = [
     "EXPERIMENT_NAMES",
     "BROADCAST_COLUMNS",
     "SEARCH_GAP_COLUMNS",
+    "ROBUSTNESS_COLUMNS",
 ]
 
 EXPERIMENT_NAMES = (
@@ -38,6 +40,7 @@ EXPERIMENT_NAMES = (
     "sandwich",
     "broadcast",
     "search",
+    "robustness",
 )
 
 #: Column order of the broadcast-sweep table (shared by the CLI and run_all).
@@ -192,6 +195,11 @@ def run_all(*, include_sandwich: bool = True, engine: str = "auto") -> str:
     sections.append("\n== SEARCH: synthesized schedules vs. certified lower bounds ==")
     sections.append(
         format_table(search_gaps_table(engine=engine), SEARCH_GAP_COLUMNS)
+    )
+
+    sections.append("\n== ROBUSTNESS: fault tolerance of nominal vs robust schedules ==")
+    sections.append(
+        format_table(robustness_table(engine=engine), ROBUSTNESS_COLUMNS)
     )
 
     if include_sandwich:

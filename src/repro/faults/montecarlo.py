@@ -1,0 +1,395 @@
+"""Batched Monte-Carlo fault-injection driver.
+
+Runs ``trials`` perturbed executions of one protocol under a
+:class:`~repro.faults.models.FaultModel` and reports per-trial completion
+rounds and final knowledge.  Two execution paths consume the *same*
+:class:`~repro.faults.models.FaultSample` realisation:
+
+* **batched** — the vectorized engine's packed ``(n, W) uint64`` matrix
+  stacked into an ``(n, trials, W)`` tensor (trials on the *middle* axis,
+  so a round's row gathers are contiguous block copies).  Each round slot
+  is precompiled once per period into the shared head-grouped layout
+  (:class:`~repro.gossip.engines._bitops.HeadGroups`); one NumPy
+  gather/mask/OR/scatter sequence then advances *all* still-active trials
+  a round.  Two further ideas are lifted from the vectorized engine:
+  vertex-disjoint matching rounds with an arithmetic-progression structure
+  are applied *densely* through copy-free strided views with only the
+  sparse set of faulted transmissions snapshot/restored around the OR
+  (exact because a failed arc's head receives from nobody else and feeds
+  nobody this round), and completion runs on doubling-size round batches
+  with per-trial exact replay from the saved pre-batch state, after which
+  completed trials are compacted out of the tensor.  Together this is what
+  makes thousands of perturbed trials per schedule a cheap workload
+  (``benchmarks/bench_faults.py`` asserts ≥ 5× over the looped path at
+  n = 1024, trials = 256; measured ≈ 26×).
+* **looped** — the reference fallback: per trial, materialise the perturbed
+  finite round sequence and run it through any engine of the registry.
+  Slower (per-trial round compilation and per-round Python overhead are
+  paid ``trials`` times) but completely general, and the path that extends
+  fault coverage to every registered backend.
+
+Because both paths replay one shared realisation, their results agree
+bit-for-bit — not just statistically — and the looped path inherits the
+engine registry's own differential guarantees, giving cross-engine
+bit-exactness of fault trials for free (enforced by
+``tests/test_faults_differential.py``).
+
+Scope: trials start from the paper's initial state (vertex ``i`` knows item
+``i``) and target complete gossip — the robustness questions this subsystem
+answers.  Use the engine layer directly for custom initial states or
+subset targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
+    np = None  # type: ignore[assignment]
+
+from repro.exceptions import SimulationError
+from repro.faults.models import FaultModel, FaultSample
+from repro.gossip.engines import SimulationEngine, resolve_engine
+from repro.gossip.engines.base import RoundProgram
+from repro.gossip.engines._bitops import (
+    BIT_LUT as _BIT_LUT,
+    WORD_MASK as _WORD_MASK,
+    WORD_SHIFT as _WORD_SHIFT,
+    compile_head_groups as _compile_head_groups,
+    numpy_available,
+    pack_int as _pack_int,
+    unpack_rows as _unpack_rows,
+)
+from repro.gossip.engines.vectorized import _ap_segments
+from repro.gossip.simulation import _program_for
+
+__all__ = ["FaultTrialResult", "monte_carlo", "default_horizon", "METHODS"]
+
+#: Execution paths accepted by :func:`monte_carlo`.
+METHODS = ("auto", "batched", "looped")
+
+#: Horizon granted per fault-free gossip round when ``max_rounds`` is not
+#: given: generous enough for moderate fault rates to complete, small
+#: enough that hopeless trials stop promptly.
+_HORIZON_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class FaultTrialResult:
+    """Outcome of ``trials`` perturbed executions of one protocol.
+
+    ``completion_rounds[t]`` is the first round after which trial ``t``
+    completed gossip (``None`` when it did not within ``horizon``);
+    ``knowledge[t]`` the trial's final knowledge bitsets (reference-engine
+    integer encoding, indexed like ``graph.vertices``).  ``nominal_rounds``
+    is the fault-free gossip time the horizon was derived from (``None``
+    when the caller supplied ``max_rounds`` explicitly and the nominal run
+    was skipped).  ``engine_name`` records the execution path:
+    ``"montecarlo-batched"`` for the tensor kernel, the underlying engine's
+    name for looped runs.
+    """
+
+    graph: object
+    model_name: str
+    trials: int
+    horizon: int
+    seed: int
+    nominal_rounds: int | None
+    completion_rounds: tuple[int | None, ...]
+    knowledge: tuple[tuple[int, ...], ...]
+    engine_name: str
+
+    @property
+    def completed(self) -> int:
+        """Number of trials that completed gossip within the horizon."""
+        return sum(1 for r in self.completion_rounds if r is not None)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of trials that completed gossip within the horizon."""
+        return self.completed / self.trials
+
+
+def default_horizon(nominal_rounds: int, period: int, factor: int = _HORIZON_FACTOR) -> int:
+    """The round budget granted to perturbed trials.
+
+    A whole number of periods covering ``factor ×`` the fault-free gossip
+    time (so every slot gets an equal number of extra firings), with a
+    small floor for degenerate instances.
+    """
+    target = max(factor * nominal_rounds, 16)
+    period = max(period, 1)
+    return ((target + period - 1) // period) * period
+
+
+def monte_carlo(
+    protocol_or_schedule,
+    model: FaultModel,
+    *,
+    trials: int,
+    seed: int = 0,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+    method: str = "auto",
+) -> FaultTrialResult:
+    """Run ``trials`` fault-perturbed executions and collect their outcomes.
+
+    ``max_rounds`` bounds each trial (default: :func:`default_horizon` of
+    the measured fault-free gossip time — which requires the unperturbed
+    protocol to complete; pass ``max_rounds`` explicitly otherwise).  For a
+    finite :class:`~repro.gossip.model.GossipProtocol` the horizon never
+    exceeds the protocol's own length.
+
+    ``method="auto"`` takes the batched tensor kernel whenever NumPy is
+    available and no specific engine was requested; naming an ``engine``
+    (or ``method="looped"``) runs the per-trial loop through that backend
+    instead.  Both paths consume the same seeded fault realisation, so the
+    choice never changes the results, only the throughput.
+    """
+    if method not in METHODS:
+        raise SimulationError(f"unknown method {method!r}; expected one of {METHODS}")
+    program = _program_for(protocol_or_schedule, None)
+    explicit_engine = not (engine is None or engine == "auto")
+
+    nominal: int | None = None
+    if max_rounds is None:
+        nominal_result = resolve_engine(engine).run(program, track_history=False)
+        nominal = nominal_result.completion_round
+        if nominal is None:
+            raise SimulationError(
+                "the fault-free protocol never completed gossip, so no default "
+                "round budget exists; pass max_rounds explicitly"
+            )
+        horizon = default_horizon(nominal, len(program.rounds))
+    else:
+        horizon = max_rounds
+    if not program.cyclic:
+        horizon = min(horizon, len(program.rounds))
+
+    sample = model.sample(program, horizon, trials, seed=seed)
+
+    if method == "auto":
+        method = "batched" if numpy_available() and not explicit_engine else "looped"
+    if method == "batched":
+        if not numpy_available():  # pragma: no cover - numpy is a hard dep today
+            raise SimulationError("the batched Monte-Carlo path requires NumPy >= 2.0")
+        completion, knowledge = _run_batched(program, sample)
+        engine_name = "montecarlo-batched"
+    else:
+        resolved = resolve_engine(engine)
+        completion, knowledge = _run_looped(program, sample, resolved)
+        engine_name = resolved.name
+
+    return FaultTrialResult(
+        graph=program.graph,
+        model_name=model.name,
+        trials=trials,
+        horizon=horizon,
+        seed=seed,
+        nominal_rounds=nominal,
+        completion_rounds=completion,
+        knowledge=knowledge,
+        engine_name=engine_name,
+    )
+
+
+# --------------------------------------------------------------------- #
+def _run_looped(
+    program: RoundProgram, sample: FaultSample, engine: SimulationEngine
+) -> tuple[tuple[int | None, ...], tuple[tuple[int, ...], ...]]:
+    """Reference fallback: one perturbed finite program per trial."""
+    graph = program.graph
+    horizon = sample.horizon
+    completion: list[int | None] = []
+    knowledge: list[tuple[int, ...]] = []
+    for t in range(sample.trials):
+        rounds = tuple(sample.kept_arcs(t, r) for r in range(1, horizon + 1))
+        result = engine.run(
+            RoundProgram(graph, rounds, cyclic=False, max_rounds=horizon),
+            track_history=False,
+        )
+        completion.append(result.completion_round)
+        knowledge.append(result.knowledge)
+    return tuple(completion), tuple(knowledge)
+
+
+#: Largest batch of rounds between two batched completion scans.
+_BATCH_CAP = 64
+
+
+def _apply_masked_round(
+    tensor: np.ndarray, g, fails_sorted: np.ndarray, buffer: np.ndarray | None = None
+) -> None:
+    """One faulted round on a ``(n, cols, W)`` tensor (or one trial's matrix).
+
+    ``fails_sorted`` is the per-column *failure* mask in the group's
+    head-sorted arc order (leading axes of the gathered source block).  The
+    faulted transmissions are silenced by zeroing exactly the failed
+    entries — under realistic fault rates a sparse write, far cheaper than
+    multiplying the whole block by a success mask.  The tail rows are
+    gathered before the single head-row write, so the paper's snapshot
+    semantics hold even when a head also appears as a tail.  ``buffer`` is
+    an optional preallocated ``(≥m, cols, W)`` scratch block (two gathers
+    per round would otherwise pay a fresh multi-megabyte allocation each).
+    """
+    if buffer is None:
+        src = tensor.take(g.src_tails, axis=0)
+    else:
+        src = buffer[: g.m]
+        np.take(tensor, g.src_tails, axis=0, out=src)
+    if fails_sorted.any():
+        src[fails_sorted] = 0
+    if g.heads_distinct:
+        agg = src
+    else:
+        agg = np.bitwise_or.reduceat(src, g.group_starts, axis=0)
+    if buffer is None:
+        old = tensor.take(g.uheads, axis=0)
+    else:
+        old = buffer[g.m : g.m + g.uheads.size]
+        np.take(tensor, g.uheads, axis=0, out=old)
+    np.bitwise_or(old, agg, out=old)
+    tensor[g.uheads] = old
+
+
+def _run_batched(
+    program: RoundProgram, sample: FaultSample
+) -> tuple[tuple[int | None, ...], tuple[tuple[int, ...], ...]]:
+    """All trials at once over a stacked ``(n, trials, W)`` bitset tensor.
+
+    Trials live in the *middle* axis so that gathering a round's tail rows
+    is a contiguous block copy (the gather/scatter volume — m·trials·W
+    words per round — is the inherent cost; this layout moves it at
+    streaming bandwidth instead of strided-access speed).  Completion is
+    detected as in the vectorized engine's fast path: rounds run in batches
+    of doubling size (capped at ``_BATCH_CAP``) with one full completion
+    scan per batch, and each newly-completed trial is replayed alone from
+    the saved pre-batch state to pin its exact completion round.  Applying
+    extra rounds to an already-complete trial cannot change its state (its
+    rows hold every item bit, OR is idempotent), so the replay is purely
+    about the round *number* — results stay bit-identical to the looped
+    path.  Completed trials are then dropped from the tensor, so the
+    per-round cost tracks the surviving trial count.
+    """
+    graph = program.graph
+    n = graph.n
+    trials = sample.trials
+    horizon = sample.horizon
+    words = max(1, (n + _WORD_MASK) >> _WORD_SHIFT)
+
+    groups = [_compile_head_groups(graph, arcs) for arcs in program.rounds]
+    s = len(groups)
+
+    def group_at(r: int):
+        return groups[(r - 1) % s] if program.cyclic else groups[r - 1]
+
+    # Every row must hold all n item bits to be complete.
+    full_value = (1 << n) - 1
+    full_words = _pack_int(full_value, words)
+    target = n * n
+
+    completion = np.full(trials, -1, dtype=np.int64)
+    if n == 1:
+        completion[:] = 0
+
+    # The paper's initial state, replicated per live trial column.
+    live = np.flatnonzero(completion < 0)
+    tensor = np.zeros((n, live.size, words), dtype=np.uint64)
+    rows = np.arange(n)
+    tensor[rows, :, (rows >> _WORD_SHIFT)] = _BIT_LUT[rows & _WORD_MASK][:, None]
+
+    def replay_trial(trial: int, saved_column: np.ndarray, start: int, stop: int) -> int:
+        """Exact completion round of one trial over rounds start+1 … stop."""
+        matrix = saved_column.copy()
+        for r in range(start + 1, stop + 1):
+            g = group_at(r)
+            if g.m == 0:
+                continue
+            fails = ~sample.trial_mask(trial, r)[g.arc_order]
+            _apply_masked_round(matrix, g, fails)
+            if int(np.bitwise_count(matrix).sum()) == target:
+                return r
+        raise SimulationError(  # pragma: no cover - scan/replay disagreement
+            f"replay of trial {trial} did not reach completion by round {stop}"
+        )
+
+    scratch_rows = max((g.m + g.uheads.size for g in groups if g.m), default=0)
+
+    # Strided fast path per slot: a vertex-disjoint matching round whose
+    # head-sorted arcs decompose into a few arithmetic progressions (the
+    # vectorized engine's AP segments) is applied *densely* through
+    # copy-free slice views — and the sparse set of faulted transmissions
+    # is snapshot/restored around the dense OR.  That is exact precisely
+    # because of disjointness: a failed arc's head receives from no other
+    # arc this round (heads distinct), and its pre-round row is never a
+    # source for anyone (no head is a tail), so restoring it yields the
+    # same state as never firing the arc.
+    segments = []
+    for g in groups:
+        seg = None
+        if (
+            g.m
+            and g.heads_distinct
+            and np.intersect1d(g.src_tails, g.uheads).size == 0
+        ):
+            seg = _ap_segments(g.src_tails, g.uheads)
+        segments.append(seg)
+
+    executed = 0
+    batch = 1
+    buffer = np.empty((scratch_rows, live.size, words), dtype=np.uint64)
+    while executed < horizon and live.size:
+        size = min(batch, horizon - executed)
+        saved = tensor.copy()
+        for offset in range(1, size + 1):
+            r = executed + offset
+            g = group_at(r)
+            if g.m == 0:
+                continue
+            rmask = sample.round_mask(r)[live][:, g.arc_order]
+            if not rmask.any():
+                continue
+            seg = segments[(r - 1) % s] if program.cyclic else segments[r - 1]
+            if seg is not None:
+                fails_arc, fails_col = np.nonzero(~rmask.T)
+                if fails_arc.size:
+                    kept_rows = tensor[g.uheads[fails_arc], fails_col]
+                for tail_part, head_slice in seg:
+                    targets = tensor[head_slice]
+                    sources = (
+                        tensor[tail_part]
+                        if isinstance(tail_part, slice)
+                        else tensor.take(tail_part, axis=0)
+                    )
+                    np.bitwise_or(targets, sources, out=targets)
+                if fails_arc.size:
+                    tensor[g.uheads[fails_arc], fails_col] = kept_rows
+            else:
+                _apply_masked_round(tensor, g, np.ascontiguousarray(~rmask.T), buffer)
+        done = ((tensor & full_words) == full_words).all(axis=(0, 2))
+        if done.any():
+            for position in np.flatnonzero(done):
+                completion[live[position]] = replay_trial(
+                    int(live[position]), saved[:, position], executed, executed + size
+                )
+            keep = ~done
+            live = live[keep]
+            tensor = np.ascontiguousarray(tensor[:, keep])
+            buffer = np.empty((scratch_rows, live.size, words), dtype=np.uint64)
+        executed += size
+        batch = min(batch * 2, _BATCH_CAP)
+
+    # Completed trials ended with every item everywhere; survivors unpack.
+    knowledge: list[tuple[int, ...]] = [None] * trials  # type: ignore[list-item]
+    complete_row = (full_value,) * n
+    for t in range(trials):
+        if completion[t] >= 0:
+            knowledge[t] = complete_row
+    for position, t in enumerate(live.tolist()):
+        knowledge[t] = _unpack_rows(np.ascontiguousarray(tensor[:, position]))
+    return (
+        tuple(int(c) if c >= 0 else None for c in completion.tolist()),
+        tuple(knowledge),
+    )

@@ -1,13 +1,17 @@
 """Packed-bitset utilities shared by the NumPy-backed engines.
 
-Both the vectorized and the frontier engine store knowledge as an
-``(n, W) uint64`` matrix in little-endian word order (bit ``j`` of a row
-lives in word ``j // 64`` at position ``j % 64``), so that a row
+Every packed engine (vectorized, frontier, hybrid, and the batched
+fault-injection kernel in :mod:`repro.faults.montecarlo`) stores knowledge
+as an ``(n, W) uint64`` matrix in little-endian word order (bit ``j`` of a
+row lives in word ``j // 64`` at position ``j % 64``), so that a row
 reinterpreted as little-endian bytes equals the reference engine's Python
 integer exactly.  The helpers here convert between that layout and Python
-integers and expand packed words into bit coordinates — any future
-packed-bitset backend should build on them rather than reaching into
-another engine's internals.
+integers and expand packed words into bit coordinates, and
+:class:`HeadGroups` / :func:`dense_apply_grouped` hold the one copy of the
+head-grouped gather/``reduceat``/diff slot core (whose snapshot-semantics
+subtleties — gather every tail row before any head row is written — live
+here once).  Any future packed-bitset backend should build on these rather
+than reaching into another engine's internals.
 """
 
 from __future__ import annotations
@@ -32,6 +36,9 @@ __all__ = [
     "unpack_bits",
     "set_bit_positions",
     "expand_delta_words",
+    "HeadGroups",
+    "compile_head_groups",
+    "dense_apply_grouped",
 ]
 
 WORD_BITS = 64
@@ -116,6 +123,93 @@ def set_bit_positions(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     bits = (words[:, None] & BIT_LUT[None, :]) != 0
     flat = np.nonzero(bits)
     return rows_w[flat[0]], cols_w[flat[0]] * WORD_BITS + flat[1]
+
+
+class HeadGroups:
+    """Head-grouped layout of one round's arc list.
+
+    The dense full-knowledge transmission path used by the frontier and
+    hybrid engines (and the batched fault-injection kernel) applies a round
+    by gathering the pre-round tail rows, OR-ing them per receiving head,
+    and diffing against the heads' current rows.  This object is the
+    precompiled layout that makes that a handful of bulk NumPy calls:
+    sources sorted by head so each head's tails form one contiguous group
+    (a single ``bitwise_or.reduceat`` when heads repeat).
+
+    Attributes
+    ----------
+    m:
+        Number of arcs (0 for an empty round — every other attribute is
+        ``None`` then).
+    src_tails:
+        Tail row indices in head-sorted arc order.
+    uheads:
+        The distinct head row indices, sorted.
+    group_starts:
+        Start offset of each head's contiguous tail group in ``src_tails``.
+    heads_distinct:
+        ``True`` when every head is distinct (any valid matching), in which
+        case the ``reduceat`` aggregation is skipped entirely.
+    arc_order:
+        Permutation from the round's original arc order into the head-sorted
+        order of ``src_tails`` (consumers that carry per-arc side data — the
+        fault kernel's per-trial arc masks — apply it to stay aligned).
+    """
+
+    __slots__ = ("m", "src_tails", "uheads", "group_starts", "heads_distinct", "arc_order")
+
+    def __init__(self, m, src_tails, uheads, group_starts, heads_distinct, arc_order):
+        self.m = m
+        self.src_tails = src_tails
+        self.uheads = uheads
+        self.group_starts = group_starts
+        self.heads_distinct = heads_distinct
+        self.arc_order = arc_order
+
+
+def compile_head_groups(graph, arcs) -> HeadGroups:
+    """Precompile one round's arcs into the head-grouped dense layout.
+
+    ``graph`` provides the vertex → row index mapping; ``arcs`` is the
+    round's ``(tail, head)`` label pairs in schedule order.
+    """
+    m = len(arcs)
+    if m == 0:
+        return HeadGroups(0, None, None, None, True, None)
+    index = graph.index
+    tails = np.fromiter((index(t) for t, _ in arcs), dtype=np.int64, count=m)
+    heads = np.fromiter((index(h) for _, h in arcs), dtype=np.int64, count=m)
+    order = np.argsort(heads, kind="stable")
+    uheads, group_starts = np.unique(heads[order], return_index=True)
+    return HeadGroups(m, tails[order], uheads, group_starts, uheads.size == m, order)
+
+
+def dense_apply_grouped(
+    knowledge: np.ndarray, groups: HeadGroups
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Full-knowledge transmission of one round, returning the word delta.
+
+    Gathers the pre-round tail rows first (snapshot semantics hold even when
+    a head also appears as a tail), ORs them per head, and writes back only
+    the changed receiver rows.  Returns the delta in *row form* —
+    ``(receivers, sub)`` where ``sub`` holds the freshly set bits of each
+    changed receiver row — or ``None`` when the round learned nothing.
+    """
+    if groups.m == 0:
+        return None
+    src = knowledge.take(groups.src_tails, axis=0)
+    if groups.heads_distinct:
+        agg = src
+    else:
+        agg = np.bitwise_or.reduceat(src, groups.group_starts, axis=0)
+    new = agg & ~knowledge[groups.uheads]
+    changed = np.flatnonzero(new.any(axis=1))
+    if changed.size == 0:
+        return None
+    sub = np.ascontiguousarray(new[changed])
+    receivers = groups.uheads[changed]
+    knowledge[receivers] |= sub
+    return receivers, sub
 
 
 def expand_delta_words(words: np.ndarray, word_cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -69,6 +69,8 @@ from repro.gossip.engines._bitops import (
     BIT_LUT as _BIT_LUT,
     WORD_MASK as _WORD_MASK,
     WORD_SHIFT as _WORD_SHIFT,
+    compile_head_groups as _compile_head_groups,
+    dense_apply_grouped as _dense_apply_grouped,
     numpy_available,
     pack_int as _pack_int,
     packed_width as _packed_width,
@@ -83,18 +85,16 @@ __all__ = ["FrontierEngine"]
 class _Slot:
     """Precompiled per-round-slot structure (one per base round).
 
-    Holds both the dense-apply layout (arcs grouped by head, for full
-    knowledge transmission on a slot's first firing) and the sparse-apply
-    layout (a tail→head routing table for matchings, a CSR expansion
-    otherwise) used to route frontier pairs.
+    Holds both the dense-apply layout (the shared head-grouped
+    :class:`~repro.gossip.engines._bitops.HeadGroups`, for full knowledge
+    transmission on a slot's first firing) and the sparse-apply layout (a
+    tail→head routing table for matchings, a CSR expansion otherwise) used
+    to route frontier pairs.
     """
 
     __slots__ = (
         "m",
-        "src_tails",
-        "uheads",
-        "group_starts",
-        "heads_distinct",
+        "groups",
         "single",
         "route",
         "is_tail",
@@ -109,19 +109,13 @@ def _compile_slot(graph: Digraph, arcs, n: int) -> _Slot:
     slot = _Slot()
     m = len(arcs)
     slot.m = m
+    # Dense layout: the shared head-grouped gather/reduceat/diff core.
+    slot.groups = _compile_head_groups(graph, arcs)
     if m == 0:
         return slot
     index = graph.index
     tails = np.fromiter((index(t) for t, _ in arcs), dtype=np.int64, count=m)
     heads = np.fromiter((index(h) for _, h in arcs), dtype=np.int64, count=m)
-
-    # Dense layout: sources sorted by head so each head's tails are one
-    # contiguous group (a single bitwise_or.reduceat when heads repeat).
-    order = np.argsort(heads, kind="stable")
-    slot.src_tails = tails[order]
-    heads_sorted = heads[order]
-    slot.uheads, slot.group_starts = np.unique(heads_sorted, return_index=True)
-    slot.heads_distinct = slot.uheads.size == m
 
     # Sparse layout.  For a matching (each tail sends to one head) a single
     # routing table folds the is-a-tail test and the head lookup into one
@@ -150,25 +144,15 @@ def _empty_delta() -> tuple[np.ndarray, np.ndarray]:
 def _dense_apply(knowledge: np.ndarray, slot: _Slot) -> tuple[np.ndarray, np.ndarray]:
     """Full-knowledge transmission for one slot, returning the delta pairs.
 
-    Gathers the pre-round tail rows first (snapshot semantics hold even when
-    a head also appears as a tail), ORs them per head, and extracts exactly
-    the freshly set bits as ``(head, item)`` arrays.
+    The shared head-grouped core (:func:`dense_apply_grouped`) produces the
+    word delta in row form; this engine lowers it to ``(head, item)`` pairs,
+    its native event granularity.
     """
-    if slot.m == 0:
+    out = _dense_apply_grouped(knowledge, slot.groups)
+    if out is None:
         return _empty_delta()
-    src = knowledge.take(slot.src_tails, axis=0)
-    if slot.heads_distinct:
-        agg = src
-    else:
-        agg = np.bitwise_or.reduceat(src, slot.group_starts, axis=0)
-    new = agg & ~knowledge[slot.uheads]
-    changed = np.flatnonzero(new.any(axis=1))
-    if changed.size == 0:
-        return _empty_delta()
-    sub = np.ascontiguousarray(new[changed])
+    receivers, sub = out
     rows, items = _set_bit_positions(sub)
-    receivers = slot.uheads[changed]
-    knowledge[receivers] |= sub
     return receivers[rows], items
 
 
@@ -217,7 +201,7 @@ def _sparse_apply(
         return _empty_delta()
     h_new = h[miss]
     j_new = j[miss]
-    if not slot.heads_distinct:
+    if not slot.groups.heads_distinct:
         # Two arcs into the same head can deliver the same item in one
         # round; deduplicate so the incremental counters stay exact.  (With
         # distinct heads the pairs are unique by construction: each head has

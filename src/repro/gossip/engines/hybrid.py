@@ -41,7 +41,8 @@ firing.  The frontier engine keeps a ring of the last ``s`` per-round deltas
 and rescans the whole window at every firing — the ROADMAP-flagged ``s×``
 multiplier.  This engine eliminates the rescan by *pre-splitting at
 production time*: the moment a round produces its delta (the flat word
-coordinates it changed, one deduplicated ``int64`` array), the delta is
+coordinates it changed, one deduplicated key array — ``int32`` whenever
+``n·W < 2³¹``, halving the window sort/concat bandwidth), the delta is
 filtered down to each slot's *tail rows* — slots sharing a tail set (the
 two directions of one colour class, say) share one filter pass and the
 resulting array — and appended by reference to the slot's *pending
@@ -120,6 +121,8 @@ from repro.gossip.engines.base import (
     initial_knowledge,
 )
 from repro.gossip.engines._bitops import (
+    compile_head_groups as _compile_head_groups,
+    dense_apply_grouped as _dense_apply_grouped,
     numpy_available,
     expand_delta_words as _expand_delta_words,
     pack_int as _pack_int,
@@ -144,17 +147,18 @@ _DEFAULT_DENSE_THRESHOLD = 0.25
 class _Slot:
     """Precompiled per-round-slot structure.
 
-    ``src_tails``/``uheads``/``group_starts``/``heads_distinct`` drive the
-    dense full-knowledge path (grouped by head, as in the frontier engine);
-    ``route`` is the vertex-level routing table ``tail row -> head row`` (or
-    ``-1``) from which ``run`` derives the flat word-level route, used to
-    resolve a firing's gather destinations.  ``route`` exists only when the
-    arc set is an injective tail→head map — true for every valid matching
-    (including the full-duplex opposite-pair relaxation) — which is what
-    licenses the sparse path's single unbuffered scatter.
+    ``groups`` (the shared head-grouped
+    :class:`~repro.gossip.engines._bitops.HeadGroups`) drives the dense
+    full-knowledge path, as in the frontier engine; ``route`` is the
+    vertex-level routing table ``tail row -> head row`` (or ``-1``) from
+    which ``run`` derives the flat word-level route, used to resolve a
+    firing's gather destinations.  ``route`` exists only when the arc set is
+    an injective tail→head map — true for every valid matching (including
+    the full-duplex opposite-pair relaxation) — which is what licenses the
+    sparse path's single unbuffered scatter.
     """
 
-    __slots__ = ("m", "src_tails", "uheads", "group_starts", "heads_distinct", "route")
+    __slots__ = ("m", "groups", "route")
 
 
 def _compile_slot(graph: Digraph, arcs, n: int) -> _Slot:
@@ -162,19 +166,14 @@ def _compile_slot(graph: Digraph, arcs, n: int) -> _Slot:
     m = len(arcs)
     slot.m = m
     slot.route = None
+    slot.groups = _compile_head_groups(graph, arcs)
     if m == 0:
         return slot
     index = graph.index
     tails = np.fromiter((index(t) for t, _ in arcs), dtype=np.int64, count=m)
     heads = np.fromiter((index(h) for _, h in arcs), dtype=np.int64, count=m)
 
-    order = np.argsort(heads, kind="stable")
-    slot.src_tails = tails[order]
-    heads_sorted = heads[order]
-    slot.uheads, slot.group_starts = np.unique(heads_sorted, return_index=True)
-    slot.heads_distinct = slot.uheads.size == m
-
-    if slot.heads_distinct and np.unique(tails).size == m:
+    if slot.groups.heads_distinct and np.unique(tails).size == m:
         slot.route = np.full(n, -1, dtype=np.int64)
         slot.route[tails] = heads
     return slot
@@ -243,34 +242,6 @@ def _dedup_sorted(parts: list[np.ndarray]) -> np.ndarray:
     return merged[keep]
 
 
-def _dense_apply(
-    knowledge: np.ndarray, slot: _Slot
-) -> tuple[np.ndarray, np.ndarray] | None:
-    """Full-knowledge transmission for one slot.
-
-    Gathers the pre-round tail rows first (snapshot semantics hold even when
-    a head also appears as a tail), ORs them per head, and returns the word
-    delta in *row form* — ``(receivers, sub)`` where ``sub`` holds the
-    freshly set bits of each changed receiver row — or ``None`` when the
-    firing learned nothing.
-    """
-    if slot.m == 0:
-        return None
-    src = knowledge.take(slot.src_tails, axis=0)
-    if slot.heads_distinct:
-        agg = src
-    else:
-        agg = np.bitwise_or.reduceat(src, slot.group_starts, axis=0)
-    new = agg & ~knowledge[slot.uheads]
-    changed = np.flatnonzero(new.any(axis=1))
-    if changed.size == 0:
-        return None
-    sub = np.ascontiguousarray(new[changed])
-    receivers = slot.uheads[changed]
-    knowledge[receivers] |= sub
-    return receivers, sub
-
-
 class HybridEngine:
     """Frontier-guided active-word lists over the packed dense matrix.
 
@@ -310,6 +281,11 @@ class HybridEngine:
 
         words = _packed_width(n, full, start)
         total_words = n * words
+        # Pending-window keys are flat word indices in [0, n·W); store them
+        # as int32 whenever that range fits, halving the concat/sort
+        # bandwidth of the window dedup (they are upcast once per firing,
+        # after the dedup, for the routing arithmetic and flat indexing).
+        key_dtype = np.int32 if total_words < 2**31 else np.int64
         slots = [_compile_slot(graph, arcs, n) for arcs in program.rounds]
         s = len(slots)
         cyclic = program.cyclic
@@ -467,6 +443,11 @@ class HybridEngine:
                                 act = window[0]
                             else:
                                 act = _dedup_sorted(window)
+                            # Window keys may be int32 (sort bandwidth);
+                            # upcast the deduped survivors once so the
+                            # routing arithmetic below cannot overflow and
+                            # flat indexing takes the fast int64 path.
+                            act = act.astype(np.int64, copy=False)
                             # Destinations arithmetically from the row-level
                             # route (entries are pre-filtered to this slot's
                             # tails, so every row is routed): word col is
@@ -496,7 +477,7 @@ class HybridEngine:
                         # injective) slot, an over-threshold window, or any
                         # round of a finite program: dense full-knowledge
                         # transmission, word delta kept in row form.
-                        out = _dense_apply(knowledge, slot)
+                        out = _dense_apply_grouped(knowledge, slot.groups)
                         if out is None:
                             quiet = True
                         else:
@@ -550,11 +531,12 @@ class HybridEngine:
                         # resulting array.
                         if key_rows is None:
                             key_rows = keys // words
+                        pending_keys = keys.astype(key_dtype, copy=False)
                         for mask, members in filter_groups:
                             if mask is None:
-                                part = keys
+                                part = pending_keys
                             else:
-                                part = keys[mask[key_rows]]
+                                part = pending_keys[mask[key_rows]]
                             if part.size:
                                 size = part.size
                                 for k2 in members:

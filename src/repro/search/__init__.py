@@ -73,6 +73,7 @@ from repro.search.objective import (
     INCOMPLETE_PENALTY,
     OBJECTIVES,
     ObjectiveValue,
+    RobustnessSpec,
     evaluate_candidates,
     evaluate_schedule,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "INCOMPLETE_PENALTY",
     "OBJECTIVES",
     "ObjectiveValue",
+    "RobustnessSpec",
     "SearchResult",
     "certified_gap",
     "edge_coloring_seed",

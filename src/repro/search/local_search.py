@@ -28,6 +28,7 @@ from repro.search.constructors import edge_coloring_seed, greedy_frontier_schedu
 from repro.search.moves import Neighborhood
 from repro.search.objective import (
     ObjectiveValue,
+    RobustnessSpec,
     evaluate_program,
     program_for_rounds,
 )
@@ -74,18 +75,29 @@ def _key(value: ObjectiveValue, rounds: tuple[Round, ...]) -> tuple[float, int, 
 
 
 class _Evaluator:
-    """Counts engine runs and owns the resolved backend for one search."""
+    """Counts engine runs and owns the resolved backend for one search.
 
-    def __init__(self, graph: Digraph, engine, objective: str) -> None:
+    ``robustness`` (a :class:`~repro.search.objective.RobustnessSpec`) is
+    resolved here once per search, so every candidate of the run is scored
+    against the same seeded fault sample.
+    """
+
+    def __init__(
+        self, graph: Digraph, engine, objective: str, robustness=None
+    ) -> None:
         self.graph = graph
         self.engine: SimulationEngine = resolve_engine(engine)
         self.objective = objective
+        self.robustness = robustness
         self.evaluations = 0
 
     def __call__(self, rounds: tuple[Round, ...]) -> ObjectiveValue:
         self.evaluations += 1
         return evaluate_program(
-            program_for_rounds(self.graph, rounds), self.engine, objective=self.objective
+            program_for_rounds(self.graph, rounds),
+            self.engine,
+            objective=self.objective,
+            robustness=self.robustness,
         )
 
 
@@ -126,6 +138,7 @@ def hill_climb(
     patience: int = 60,
     neighborhood: Neighborhood | None = None,
     engine: str | SimulationEngine | None = "auto",
+    robustness: RobustnessSpec | None = None,
     initial_value: ObjectiveValue | None = None,
 ) -> SearchResult:
     """First-improvement hill climbing from one seed schedule.
@@ -138,7 +151,7 @@ def hill_climb(
     """
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
-    evaluator = _Evaluator(schedule.graph, engine, objective)
+    evaluator = _Evaluator(schedule.graph, engine, objective, robustness)
 
     current = tuple(schedule.base_rounds)
     current_value = initial_value if initial_value is not None else evaluator(current)
@@ -183,6 +196,7 @@ def simulated_annealing(
     restarts: int = 1,
     neighborhood: Neighborhood | None = None,
     engine: str | SimulationEngine | None = "auto",
+    robustness: RobustnessSpec | None = None,
     initial_value: ObjectiveValue | None = None,
 ) -> SearchResult:
     """Simulated annealing with geometric cooling and best-state restarts.
@@ -200,7 +214,7 @@ def simulated_annealing(
         raise SimulationError(f"cooling must lie in (0, 1), got {cooling}")
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
-    evaluator = _Evaluator(schedule.graph, engine, objective)
+    evaluator = _Evaluator(schedule.graph, engine, objective, robustness)
 
     best_rounds = tuple(schedule.base_rounds)
     best_value = initial_value if initial_value is not None else evaluator(best_rounds)
@@ -244,6 +258,7 @@ def synthesize_schedule(
     random_seeds: int = 1,
     neighborhood: Neighborhood | None = None,
     engine: str | SimulationEngine | None = "auto",
+    robustness: RobustnessSpec | None = None,
 ) -> SearchResult:
     """Synthesize an s-systolic gossip schedule for ``graph`` under ``mode``.
 
@@ -277,7 +292,7 @@ def synthesize_schedule(
             random_systolic_schedule(graph, baseline_period, mode, rng=rng)
         )
 
-    evaluator = _Evaluator(graph, resolved, objective)
+    evaluator = _Evaluator(graph, resolved, objective, robustness)
     scored = sorted(
         (
             (evaluator(tuple(s.base_rounds)), s)
@@ -298,6 +313,7 @@ def synthesize_schedule(
             max_iters=max_iters,
             neighborhood=moves,
             engine=resolved,
+            robustness=robustness,
         )
         if strategy == "anneal":
             results.append(

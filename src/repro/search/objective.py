@@ -17,6 +17,21 @@ its completion round; one that does not is pushed far above every
 completing schedule (``INCOMPLETE_PENALTY``) *plus* the number of
 (vertex, item) pairs still missing, so local search can climb toward
 completeness even before any candidate completes.
+
+Fault-aware scoring
+-------------------
+The ``"robust_gossip_rounds"`` objective scores a candidate by its mean
+behaviour over a fixed seeded fault sample (:class:`RobustnessSpec`): the
+candidate first runs fault-free (an incomplete candidate is graded exactly
+like ``gossip_rounds``); a completing candidate then runs ``spec.trials``
+perturbed executions through the batched Monte-Carlo kernel and scores the
+mean per-trial cost — the trial's completion round, or the horizon plus its
+missing (vertex, item) pairs when the trial failed.  Because the fault
+sample is re-derived from the same seed for every candidate, a whole
+search (and every candidate of an :func:`evaluate_candidates` batch) is
+scored against one fixed fault distribution, which keeps scores comparable
+and the search deterministic while letting ``synthesize_schedule`` trade
+nominal rounds for fault tolerance.
 """
 
 from __future__ import annotations
@@ -25,6 +40,8 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
+from repro.faults.models import FaultModel
+from repro.faults.montecarlo import _run_batched, default_horizon
 from repro.gossip.engines import SimulationEngine, resolve_engine
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Round, SystolicSchedule
@@ -34,6 +51,7 @@ __all__ = [
     "INCOMPLETE_PENALTY",
     "OBJECTIVES",
     "ObjectiveValue",
+    "RobustnessSpec",
     "program_for_rounds",
     "evaluate_program",
     "evaluate_schedule",
@@ -55,7 +73,42 @@ INCOMPLETE_PENALTY = 10.0**9
 #:   by how many items finished broadcasting.
 #: * ``"mean_eccentricity"`` — the average per-source broadcast time;
 #:   optimizes average-case latency rather than the worst source.
-OBJECTIVES = ("gossip_rounds", "max_eccentricity", "mean_eccentricity")
+#: * ``"robust_gossip_rounds"`` — the mean cost over a fixed seeded fault
+#:   sample (requires a :class:`RobustnessSpec`); optimizes fault tolerance
+#:   alongside speed.
+OBJECTIVES = (
+    "gossip_rounds",
+    "max_eccentricity",
+    "mean_eccentricity",
+    "robust_gossip_rounds",
+)
+
+
+@dataclass(frozen=True)
+class RobustnessSpec:
+    """Fault sample the ``"robust_gossip_rounds"`` objective scores against.
+
+    ``model`` is any :class:`~repro.faults.models.FaultModel`; ``trials``
+    perturbed executions are drawn per candidate from ``seed`` (the sample
+    is re-derived deterministically per candidate, so one spec fixes one
+    fault distribution for the whole search); ``horizon_factor`` scales the
+    per-trial round budget off the candidate's own fault-free gossip time
+    (rounded up to whole periods, exactly as the Monte-Carlo driver's
+    default horizon).
+    """
+
+    model: FaultModel
+    trials: int = 8
+    seed: int = 0
+    horizon_factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise SimulationError(f"at least one fault trial is required, got {self.trials}")
+        if self.horizon_factor < 1:
+            raise SimulationError(
+                f"horizon_factor must be positive, got {self.horizon_factor}"
+            )
 
 
 @dataclass(frozen=True)
@@ -99,11 +152,49 @@ def _incomplete_score(result, n: int) -> float:
     return INCOMPLETE_PENALTY + float(missing)
 
 
+def _robust_score(
+    program: RoundProgram,
+    engine: SimulationEngine,
+    spec: RobustnessSpec,
+) -> ObjectiveValue:
+    """Mean per-trial cost over the spec's seeded fault sample.
+
+    A fault-free incomplete candidate is graded exactly like
+    ``gossip_rounds`` (no trials are spent on it); a completing candidate
+    scores the mean over trials of its completion round, failed trials
+    contributing the horizon plus their missing (vertex, item) pairs so
+    that likelier-to-complete candidates always sort ahead.  The trials
+    always run through the batched Monte-Carlo kernel (the looped
+    per-engine path replays the identical realisation, so the score is
+    engine-independent regardless).
+    """
+    n = program.graph.n
+    result = engine.run(program, track_history=False)
+    if result.completion_round is None:
+        return ObjectiveValue(_incomplete_score(result, n), False, None, engine.name)
+    nominal = result.completion_round
+    horizon = default_horizon(nominal, len(program.rounds), spec.horizon_factor)
+    if not program.cyclic:
+        # A finite program has no rounds beyond its own length to grant.
+        horizon = min(horizon, len(program.rounds))
+    sample = spec.model.sample(program, horizon, spec.trials, seed=spec.seed)
+    completion, knowledge = _run_batched(program, sample)
+    total = 0.0
+    for rounds, bits in zip(completion, knowledge):
+        if rounds is not None:
+            total += rounds
+        else:
+            missing = n * n - sum(value.bit_count() for value in bits)
+            total += horizon + missing
+    return ObjectiveValue(total / spec.trials, True, nominal, engine.name)
+
+
 def evaluate_program(
     program: RoundProgram,
     engine: SimulationEngine,
     *,
     objective: str = "gossip_rounds",
+    robustness: RobustnessSpec | None = None,
 ) -> ObjectiveValue:
     """Score one compiled candidate on a resolved engine instance."""
     n = program.graph.n
@@ -116,6 +207,13 @@ def evaluate_program(
         return ObjectiveValue(
             float(result.completion_round), True, result.completion_round, engine.name
         )
+    if objective == "robust_gossip_rounds":
+        if robustness is None:
+            raise SimulationError(
+                "the robust_gossip_rounds objective needs a RobustnessSpec "
+                "(pass robustness=RobustnessSpec(model, trials, seed))"
+            )
+        return _robust_score(program, engine, robustness)
     if objective in ("max_eccentricity", "mean_eccentricity"):
         result = engine.run(program, track_history=False, track_item_completion=True)
         times = result.item_completion_rounds
@@ -146,10 +244,13 @@ def evaluate_schedule(
     objective: str = "gossip_rounds",
     max_rounds: int | None = None,
     engine: str | SimulationEngine | None = "auto",
+    robustness: RobustnessSpec | None = None,
 ) -> ObjectiveValue:
     """Score one systolic schedule (see the module docstring for semantics)."""
     program = program_for_rounds(schedule.graph, schedule.base_rounds, max_rounds)
-    return evaluate_program(program, resolve_engine(engine), objective=objective)
+    return evaluate_program(
+        program, resolve_engine(engine), objective=objective, robustness=robustness
+    )
 
 
 def evaluate_candidates(
@@ -158,13 +259,16 @@ def evaluate_candidates(
     objective: str = "gossip_rounds",
     max_rounds: int | None = None,
     engine: str | SimulationEngine | None = "auto",
+    robustness: RobustnessSpec | None = None,
 ) -> list[ObjectiveValue]:
     """Score a batch of candidates on one resolved engine instance.
 
     The engine lookup (including the ``auto``/``REPRO_SIM_ENGINE``
     resolution) happens once for the whole batch; every candidate then runs
     on the same backend, which also guarantees the scores are comparable
-    (no candidate silently falling back to a different engine).
+    (no candidate silently falling back to a different engine).  The same
+    holds for ``robustness``: one spec means one fixed seeded fault
+    distribution for the whole batch.
     """
     resolved = resolve_engine(engine)
     return [
@@ -172,6 +276,7 @@ def evaluate_candidates(
             program_for_rounds(s.graph, s.base_rounds, max_rounds),
             resolved,
             objective=objective,
+            robustness=robustness,
         )
         for s in schedules
     ]

@@ -1,0 +1,109 @@
+"""Differential tests: seeded fault trials are bit-identical everywhere.
+
+The Monte-Carlo driver has one batched tensor kernel and a looped fallback
+that runs each perturbed trial through any engine of the registry.  All
+paths consume the same seeded :class:`~repro.faults.models.FaultSample`
+realisation, so for a fixed ``(model, seed)`` every registered engine must
+produce *exactly* the same per-trial completion rounds and final knowledge
+as the batched kernel — not merely statistically compatible results.  The
+engine list is drawn from the registry, so future backends are covered
+automatically, exactly as in ``tests/test_engines_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import AdversarialArcFaults, BernoulliArcFaults, CrashFaults, monte_carlo
+from repro.gossip.engines import available_engines
+from repro.gossip.model import GossipProtocol, Mode
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.topologies.classic import cycle_graph, grid_2d, path_graph
+from repro.topologies.debruijn import de_bruijn, de_bruijn_digraph
+
+ENGINES = available_engines()
+
+#: (name, protocol-or-schedule, extra monte_carlo kwargs) cases: systolic
+#: schedules in both duplex modes plus a finite directed protocol with
+#: non-matching rounds (duplicate heads stress the batched reduceat path).
+def _cases():
+    cases = [
+        (
+            "cycle-odd",
+            coloring_systolic_schedule(cycle_graph(9), Mode.HALF_DUPLEX),
+            {},
+        ),
+        (
+            "grid-full-duplex",
+            coloring_systolic_schedule(grid_2d(3, 4), Mode.FULL_DUPLEX),
+            {},
+        ),
+        (
+            "debruijn-half",
+            coloring_systolic_schedule(de_bruijn(2, 3), Mode.HALF_DUPLEX),
+            {},
+        ),
+    ]
+    digraph = de_bruijn_digraph(2, 3)
+    arcs = list(digraph.arcs)
+    chunked = [arcs[i : i + 3] for i in range(0, len(arcs), 3)]
+    cases.append(
+        (
+            "directed-chunked",
+            GossipProtocol(digraph, chunked * 6, mode=Mode.DIRECTED),
+            {"max_rounds": 20},
+        )
+    )
+    return cases
+
+
+CASES = _cases()
+
+MODELS = (
+    BernoulliArcFaults(0.25),
+    BernoulliArcFaults(0.6),
+    CrashFaults(2),
+)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c[0])
+def test_looped_engines_match_batched_bit_for_bit(case, model, engine):
+    _, subject, kwargs = case
+    batched = monte_carlo(subject, model, trials=6, seed=17, **kwargs)
+    assert batched.engine_name == "montecarlo-batched"
+    looped = monte_carlo(
+        subject, model, trials=6, seed=17, engine=engine, method="looped", **kwargs
+    )
+    assert looped.engine_name == engine
+    assert looped.horizon == batched.horizon
+    assert looped.completion_rounds == batched.completion_rounds, (case[0], model.name, engine)
+    assert looped.knowledge == batched.knowledge, (case[0], model.name, engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_adversarial_trials_match_across_engines(engine):
+    schedule = coloring_systolic_schedule(cycle_graph(8), Mode.HALF_DUPLEX)
+    model = AdversarialArcFaults(1)
+    batched = monte_carlo(schedule, model, trials=2, seed=0)
+    looped = monte_carlo(
+        schedule, model, trials=2, seed=0, engine=engine, method="looped"
+    )
+    assert looped.completion_rounds == batched.completion_rounds
+    assert looped.knowledge == batched.knowledge
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_seed_determinism_per_engine(engine):
+    """Same seed ⇒ bit-identical outcomes; different seed ⇒ (almost surely) not."""
+    schedule = coloring_systolic_schedule(path_graph(7), Mode.HALF_DUPLEX)
+    model = BernoulliArcFaults(0.4)
+    a = monte_carlo(schedule, model, trials=5, seed=23, engine=engine, method="looped")
+    b = monte_carlo(schedule, model, trials=5, seed=23, engine=engine, method="looped")
+    assert a.completion_rounds == b.completion_rounds
+    assert a.knowledge == b.knowledge
+    c = monte_carlo(schedule, model, trials=5, seed=24, engine=engine, method="looped")
+    assert (
+        c.completion_rounds != a.completion_rounds or c.knowledge != a.knowledge
+    )
