@@ -14,6 +14,11 @@ JSON so CI can archive the trajectory alongside the engine timings):
   instance: evaluations/second is the number search budgets are sized
   from, and the per-engine comparison doubles as a differential check
   (identical scores across backends).
+* **incremental** — hill-climbing with checkpoint/resume evaluation
+  (``incremental=True``) against full replay on long-period C(256)
+  frontier walks: the speedup ratio is the regression guard for the
+  incremental evaluation layer, and the runs are asserted bit-identical
+  (same winning period, objective and acceptance history) first.
 """
 
 from __future__ import annotations
@@ -22,17 +27,33 @@ import json
 import os
 import time
 
+import pytest
+
 from repro.experiments.runner import format_table
 from repro.experiments.search_gaps import search_gaps_table
-from repro.gossip.builders import random_systolic_schedule
+from repro.gossip.builders import edge_coloring_schedule, random_systolic_schedule
 from repro.gossip.engines import available_engines
-from repro.gossip.model import Mode
-from repro.search import evaluate_candidates
+from repro.gossip.model import Mode, SystolicSchedule
+from repro.search import evaluate_candidates, hill_climb
 from repro.topologies.classic import cycle_graph
 
 #: Instance and batch size of the per-engine throughput measurement.
 THROUGHPUT_N = 256
 THROUGHPUT_CANDIDATES = 40
+
+#: Period length and walk budget of the incremental-evaluation comparison.
+#: Long periods are where checkpoint reuse pays: candidates share deep
+#: executed prefixes and most mutations land at or past the completion
+#: horizon, so a resumed evaluation re-simulates a small suffix only.
+INCREMENTAL_PERIOD = 1024
+INCREMENTAL_ITERS = 50
+
+#: Speedup floors (incremental evals/s over full-replay evals/s) per
+#: workload.  Locally the refinement walk measures ~10x and the random
+#: walk ~6.7x; the floors leave headroom for shared-runner noise while
+#: still catching a collapse of the reuse machinery (a broken cache
+#: degrades to ~1x, far below either floor).
+INCREMENTAL_MIN_SPEEDUP = {"refinement": 4.0, "random": 2.5}
 
 #: Search budget of the quality run (kept moderate: the point is the gap
 #: trajectory, not squeezing the last round out of each instance).
@@ -137,4 +158,100 @@ def test_search_evaluation_throughput(report_sink):
     for name, scores in scores_by_engine.items():
         assert scores == reference_scores, (
             f"engine {name!r} disagreed with the reference on candidate scores"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.perf_regression
+def test_incremental_hill_climb_speedup(report_sink):
+    """Checkpoint-resume evaluation vs full replay: bit-identical, and faster.
+
+    Two frontier hill climbs on C(256) with period 1024 — a *refinement*
+    walk seeded with a tiled edge-colouring schedule (completes far below
+    the period length, so most moves resume from the completion state) and
+    a *random* walk seeded with a random matching schedule.  Each walk runs
+    once with full replay and once incrementally; the winning schedule,
+    its objective value and the per-acceptance history must match exactly
+    (incremental evaluation changes cost, never outcomes), and the
+    evals/s ratio must clear the per-workload floor.
+
+    ``perf_regression``-marked: the ratio guard runs in the CI perf job
+    (weekly cron + dispatch), not as a per-PR gate, where shared runners
+    make relative wall-clock comparisons flaky.
+    """
+    graph = cycle_graph(THROUGHPUT_N)
+    coloring = edge_coloring_schedule(graph, Mode.HALF_DUPLEX)
+    tiles = INCREMENTAL_PERIOD // len(coloring.base_rounds)
+    workloads = {
+        "refinement": SystolicSchedule(
+            graph=graph,
+            base_rounds=tuple(coloring.base_rounds) * tiles,
+            mode=Mode.HALF_DUPLEX,
+        ),
+        "random": random_systolic_schedule(
+            graph, INCREMENTAL_PERIOD, Mode.HALF_DUPLEX, seed=3
+        ),
+    }
+
+    rows = []
+    speedups = {}
+    for label, schedule in workloads.items():
+        outcomes = {}
+        for incremental in (False, True):
+            start = time.perf_counter()
+            result = hill_climb(
+                schedule,
+                seed=0,
+                engine="frontier",
+                max_iters=INCREMENTAL_ITERS,
+                incremental=incremental,
+            )
+            elapsed = time.perf_counter() - start
+            outcomes[incremental] = (result, result.evaluations / elapsed)
+
+        full, incremental_run = outcomes[False][0], outcomes[True][0]
+        assert incremental_run.schedule.base_rounds == full.schedule.base_rounds, (
+            f"incremental {label} walk found a different winning period"
+        )
+        assert incremental_run.objective == full.objective, (
+            f"incremental {label} walk scored the winner differently"
+        )
+        assert incremental_run.history == full.history, (
+            f"incremental {label} walk diverged in its acceptance history"
+        )
+
+        full_rate, incremental_rate = outcomes[False][1], outcomes[True][1]
+        speedups[label] = incremental_rate / full_rate
+        rows.append(
+            {
+                "workload": label,
+                "period": INCREMENTAL_PERIOD,
+                "iters": INCREMENTAL_ITERS,
+                "full_evals_per_second": full_rate,
+                "incremental_evals_per_second": incremental_rate,
+                "speedup": speedups[label],
+            }
+        )
+
+    report_sink(
+        f"SEARCH: incremental vs full-replay hill climb on C({THROUGHPUT_N}), "
+        f"frontier engine, period {INCREMENTAL_PERIOD}",
+        format_table(
+            rows,
+            [
+                "workload",
+                "period",
+                "iters",
+                "full_evals_per_second",
+                "incremental_evals_per_second",
+                "speedup",
+            ],
+        ),
+    )
+    _maybe_dump_json("incremental", rows)
+
+    for label, floor in INCREMENTAL_MIN_SPEEDUP.items():
+        assert speedups[label] >= floor, (
+            f"incremental evaluation regressed on the {label} walk: "
+            f"{speedups[label]:.2f}x speedup is below the {floor}x floor"
         )

@@ -15,6 +15,19 @@ import pytest
 _REPORTS: list[tuple[str, str]] = []
 
 
+def pytest_configure(config):
+    """Register the markers the benchmarks share with the test suite."""
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running benchmark (the CI perf job runs them all)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "perf_regression: comparative wall-clock assertion; runs in the CI perf "
+        "job (cron/dispatch) only, never as a per-PR gate",
+    )
+
+
 def record_report(title: str, body: str) -> None:
     """Store a text table to be echoed after the benchmark session."""
     _REPORTS.append((title, body))

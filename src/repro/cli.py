@@ -175,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault trials per candidate for the robust_gossip_rounds "
         "objective (default 8; ignored otherwise)",
     )
+    optimize.add_argument(
+        "--incremental",
+        action="store_true",
+        help="evaluate candidates incrementally: resume engine checkpoints "
+        "across candidates sharing a period prefix (bit-identical results, "
+        "fewer simulated rounds per evaluation)",
+    )
     _add_engine_flag(optimize)
     robustness = sub.add_parser(
         "robustness",
@@ -298,6 +305,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
         restarts=args.restarts,
         engine=args.engine,
         robustness=robustness,
+        incremental=args.incremental,
     )
     report = certified_gap(
         result.schedule, found=result.found_rounds, engine=args.engine

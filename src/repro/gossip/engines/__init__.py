@@ -81,6 +81,27 @@ The availability gate (``numpy_available``) exists for backends with
 genuinely optional dependencies, which ``"auto"`` skips when their
 dependency is missing.
 
+Checkpoint/resume
+-----------------
+The reference, frontier and hybrid engines additionally implement the
+checkpoint/resume protocol (:mod:`repro.gossip.engines.checkpoint`):
+``run_checkpointed`` captures :class:`EngineState` snapshots after
+requested rounds, ``checkpoint``/``resume`` are the single-state
+conveniences, and :func:`supports_checkpointing` probes a backend.
+
+The determinism contract: resuming a state on a program whose executed
+prefix matches the producing run's returns a result **bit-identical to the
+cold run** — final knowledge, completion round, coverage history, item
+completion and arrival matrices all agree exactly, for any program suffix.
+States are stored in the canonical integer encoding, so they are portable
+across backends (checkpoint on frontier, resume on hybrid, and vice
+versa).  This is what lets incremental schedule search
+(:mod:`repro.search.incremental`) re-simulate only the rounds a move
+changed while provably visiting the same walk as full re-evaluation.
+The vectorized engine does not checkpoint (its tiled kernel keeps no
+mid-run canonical state cheaply); ``supports_checkpointing`` returns
+``False`` for it and search falls back to full runs.
+
 Adding a fifth backend
 ----------------------
 Implement the :class:`~repro.gossip.engines.base.SimulationEngine` protocol
@@ -90,7 +111,10 @@ Implement the :class:`~repro.gossip.engines.base.SimulationEngine` protocol
 the randomized fuzz suite ``tests/test_engines_fuzz.py`` with your engine
 registered to certify bit-for-bit agreement with the reference engine —
 both suites iterate over the registry, so new backends get coverage for
-free.
+free; implement ``run_checkpointed`` (see
+:class:`~repro.gossip.engines.checkpoint.CheckpointableEngine`) and
+``tests/test_engines_resume.py`` certifies the resume contract the same
+way.
 """
 
 from __future__ import annotations
@@ -104,6 +128,12 @@ from repro.gossip.engines.base import (
     SimulationEngine,
     SimulationResult,
 )
+from repro.gossip.engines.checkpoint import (
+    CheckpointableEngine,
+    CheckpointedRun,
+    EngineState,
+    supports_checkpointing,
+)
 from repro.gossip.engines.frontier import FrontierEngine
 from repro.gossip.engines.hybrid import HybridEngine
 from repro.gossip.engines.reference import ReferenceEngine
@@ -114,6 +144,10 @@ __all__ = [
     "RoundProgram",
     "SimulationEngine",
     "SimulationResult",
+    "CheckpointableEngine",
+    "CheckpointedRun",
+    "EngineState",
+    "supports_checkpointing",
     "ReferenceEngine",
     "VectorizedEngine",
     "FrontierEngine",

@@ -320,6 +320,15 @@ class SimulationEngine(Protocol):
     of them — and anything registered later — to bit-for-bit agreement,
     including the ``arrival_rounds`` matrix under every tracking-flag
     combination.
+
+    Backends may additionally implement the checkpoint/resume extension —
+    ``run_checkpointed``/``checkpoint``/``resume``, capturing and resuming
+    :class:`~repro.gossip.engines.checkpoint.EngineState` snapshots
+    bit-exactly (see :class:`~repro.gossip.engines.checkpoint.
+    CheckpointableEngine` and the determinism contract in
+    :mod:`repro.gossip.engines.checkpoint`).  Probe with
+    :func:`~repro.gossip.engines.checkpoint.supports_checkpointing`;
+    ``tests/test_engines_resume.py`` certifies implementors differentially.
     """
 
     name: str

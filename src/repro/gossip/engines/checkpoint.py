@@ -1,0 +1,284 @@
+"""Checkpoint/resume layer of the engine protocol.
+
+A *checkpoint* freezes a run mid-program: :class:`EngineState` is the
+engine-agnostic snapshot of everything a backend needs to continue the run
+— the exact knowledge bitsets after round ``r`` plus the prefixes of every
+tracked analysis (coverage history, per-item completion, the first-arrival
+matrix) and the option signature the run was started with.  ``resume``
+continues a state on a program whose executed rounds ``1 … r`` match the
+ones that produced the state, and returns a result **bit-identical to the
+cold run** of that program.
+
+Determinism contract
+--------------------
+Resume correctness is guaranteed *by construction*, not by replaying
+history:
+
+* the snapshot is canonical (plain Python integers, exactly the
+  ``SimulationResult.knowledge`` encoding), so a state captured by one
+  backend can be resumed by any other — the differential resume suite
+  (``tests/test_engines_resume.py``) checks every ordered engine pair;
+* every incremental counter an engine keeps (coverage, target-mask totals,
+  per-item counts) is recomputed from the snapshot at resume time — the
+  union of knowledge bits is time-invariant (bits only spread, never
+  appear), so derived quantities like the reachable-bit set are identical
+  to the cold run's;
+* the sparse engines (frontier, hybrid) treat the resume point like a
+  program start: for the first ``s`` rounds after round ``r`` every slot
+  fires through the dense full-knowledge path (it has no delta window
+  yet), after which windows built purely from post-resume deltas take
+  over.  The induction that justifies window transmission therefore never
+  references pre-resume history, which is what makes resume exact for
+  *any* program suffix — including a suffix the original run never saw,
+  the case incremental schedule search exercises on every move.
+
+The caller owns the prefix contract: resuming a state on a program whose
+rounds ``1 … r`` differ from the producing run's is undetected and returns
+garbage.  The search layer (:mod:`repro.search.incremental`) keys cached
+states by the candidate period and only reuses a state below the first
+modified round.
+
+Surface
+-------
+Checkpointable engines implement :class:`CheckpointableEngine`:
+
+``run_checkpointed(program, checkpoint_rounds=..., resume_from=...)``
+    The one primitive: run (or resume) a program, capturing a state after
+    each requested round, and return a :class:`CheckpointedRun`.
+    Checkpoint rounds that the run never reaches (it completed earlier)
+    are silently skipped; rounds inside a fixed-point early-exit region
+    are synthesized exactly.
+``checkpoint(program, at, **options) -> EngineState``
+    Convenience: run until round ``at`` and return that one state.
+``resume(state, program, from_round=None, **options) -> SimulationResult``
+    Convenience: continue ``state`` to the end of ``program``'s budget.
+
+The reference, frontier and hybrid engines support checkpointing (via
+:class:`CheckpointingMixin`); use :func:`supports_checkpointing` to probe a
+backend, e.g. when iterating the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.exceptions import SimulationError
+from repro.gossip.engines.base import RoundProgram, SimulationResult, full_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = [
+    "EngineState",
+    "CheckpointedRun",
+    "CheckpointableEngine",
+    "CheckpointingMixin",
+    "supports_checkpointing",
+]
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """Engine-agnostic snapshot of a run after ``round`` rounds.
+
+    ``knowledge`` uses the canonical arbitrary-precision-integer encoding
+    (bit ``j`` of entry ``v`` set iff vertex ``v`` knows item ``j``), so the
+    state is backend-portable by construction.  ``target_mask`` and the
+    three tracking flags record the option signature of the producing run;
+    resume validates them against the requested options, because a state
+    captured without (say) arrival tracking cannot seed a tracked
+    continuation.
+
+    ``completion_round`` is almost always ``None`` — engines stop at
+    completion, so a mid-run snapshot is incomplete by construction; the
+    only states carrying a completion are those captured exactly at the
+    completing round (or at round 0 of an initially complete program), and
+    resuming one short-circuits to the finished result.
+
+    Tracked prefixes: ``coverage_history`` has ``round + 1`` entries when
+    history tracking was on; ``item_completion`` / ``arrivals`` mirror the
+    corresponding :class:`~repro.gossip.engines.base.SimulationResult`
+    encodings (``None`` for not-yet events), restricted to what had
+    happened by ``round``.
+    """
+
+    round: int
+    knowledge: tuple[int, ...]
+    completion_round: int | None
+    target_mask: int
+    track_history: bool
+    track_item_completion: bool
+    track_arrivals: bool
+    coverage_history: tuple[int, ...] | None = None
+    item_completion: tuple[int | None, ...] | None = None
+    arrivals: tuple[tuple[int | None, ...], ...] | None = None
+    engine_name: str | None = None
+
+    @property
+    def n(self) -> int:
+        """Vertex count of the program the state belongs to."""
+        return len(self.knowledge)
+
+
+@dataclass(frozen=True)
+class CheckpointedRun:
+    """A simulation result plus the states captured along the way.
+
+    ``checkpoints`` is ordered by round and contains exactly the requested
+    rounds the run reached (a run completing at round ``c`` yields no state
+    beyond ``c``; synthesized fixed-point rounds *are* reachable).
+    """
+
+    result: SimulationResult
+    checkpoints: tuple[EngineState, ...]
+
+
+def _resolved_mask(program: RoundProgram, target_mask: int | None) -> int:
+    return full_mask(program.graph.n) if target_mask is None else target_mask
+
+
+def check_resume_state(
+    state: EngineState,
+    program: RoundProgram,
+    *,
+    target_mask: int | None,
+    track_history: bool,
+    track_item_completion: bool,
+    track_arrivals: bool,
+) -> None:
+    """Validate that ``state`` can seed a run of ``program`` under these options.
+
+    Catches signature mismatches (vertex count, target mask, tracking
+    flags) and budgets that end before the resume point.  The round-prefix
+    contract — ``program``'s rounds ``1 … state.round`` must equal the
+    producing run's — is the caller's responsibility and is *not* checked
+    here (doing so would require storing the whole executed prefix).
+    """
+    n = program.graph.n
+    if state.n != n:
+        raise SimulationError(
+            f"cannot resume: state snapshots {state.n} vertices, program has {n}"
+        )
+    if state.round < 0:
+        raise SimulationError(f"cannot resume from negative round {state.round}")
+    if state.round > program.max_rounds:
+        raise SimulationError(
+            f"cannot resume at round {state.round}: the program budget is only "
+            f"{program.max_rounds} rounds"
+        )
+    if state.target_mask != _resolved_mask(program, target_mask):
+        raise SimulationError(
+            "cannot resume: the state was captured under a different target mask"
+        )
+    wanted = (track_history, track_item_completion, track_arrivals)
+    have = (state.track_history, state.track_item_completion, state.track_arrivals)
+    if wanted != have:
+        raise SimulationError(
+            f"cannot resume: the state was captured with tracking flags "
+            f"(history, items, arrivals) = {have}, the resumed run asks for {wanted}"
+        )
+    if track_history and (
+        state.coverage_history is None or len(state.coverage_history) != state.round + 1
+    ):
+        raise SimulationError(
+            "cannot resume: the state's coverage-history prefix does not cover "
+            "its own round"
+        )
+
+
+def normalize_checkpoint_rounds(checkpoint_rounds, base: int) -> list[int]:
+    """Sorted unique checkpoint rounds at or after the run's start round."""
+    wanted = sorted({int(r) for r in checkpoint_rounds})
+    if wanted and wanted[0] < 0:
+        raise SimulationError(f"checkpoint rounds must be >= 0, got {wanted[0]}")
+    return [r for r in wanted if r >= base]
+
+
+@runtime_checkable
+class CheckpointableEngine(Protocol):
+    """The engine protocol extended with checkpoint/resume support."""
+
+    name: str
+
+    def run(self, program: RoundProgram, **options) -> SimulationResult: ...
+
+    def run_checkpointed(
+        self,
+        program: RoundProgram,
+        *,
+        checkpoint_rounds=(),
+        resume_from: EngineState | None = None,
+        **options,
+    ) -> CheckpointedRun: ...
+
+    def checkpoint(self, program: RoundProgram, at: int, **options) -> EngineState: ...
+
+    def resume(
+        self,
+        state: EngineState,
+        program: RoundProgram,
+        *,
+        from_round: int | None = None,
+        **options,
+    ) -> SimulationResult: ...
+
+
+def supports_checkpointing(engine) -> bool:
+    """``True`` iff ``engine`` implements the checkpoint/resume protocol."""
+    return isinstance(engine, CheckpointableEngine)
+
+
+class CheckpointingMixin:
+    """`checkpoint`/`resume` conveniences on top of ``run_checkpointed``."""
+
+    def checkpoint(self, program: RoundProgram, at: int, **options) -> EngineState:
+        """The state of ``program``'s run after round ``at``.
+
+        Raises when the run ends (completes) before round ``at`` — there is
+        no state to capture there.
+        """
+        run = self.run_checkpointed(program, checkpoint_rounds=(at,), **options)
+        for state in run.checkpoints:
+            if state.round == at:
+                return state
+        raise SimulationError(
+            f"cannot checkpoint round {at}: the run ended at round "
+            f"{run.result.rounds_executed} "
+            f"(completion {run.result.completion_round})"
+        )
+
+    def resume(
+        self,
+        state: EngineState,
+        program: RoundProgram,
+        *,
+        from_round: int | None = None,
+        **options,
+    ) -> SimulationResult:
+        """Continue ``state`` to the end of ``program``'s round budget.
+
+        ``from_round`` is accepted for call-site clarity and must equal
+        ``state.round`` (a state can only be resumed at the round it
+        snapshots).
+        """
+        if from_round is not None and from_round != state.round:
+            raise SimulationError(
+                f"from_round={from_round} does not match the state's round "
+                f"{state.round}"
+            )
+        return self.run_checkpointed(program, resume_from=state, **options).result
+
+
+def encode_arrivals(rows) -> tuple[tuple[int | None, ...], ...]:
+    """Canonical nested-tuple arrival encoding from an engine's int64 matrix
+    (``-1`` = never arrived) or nested ``int | None`` lists."""
+    out = []
+    for row in rows:
+        out.append(tuple(x if x is None or x >= 0 else None for x in row))
+    return tuple(out)
+
+
+def decode_arrivals_lists(arrivals) -> list[list[int | None]]:
+    """Mutable nested-list arrivals for the reference engine's resume path."""
+    return [list(row) for row in arrivals]

@@ -43,6 +43,26 @@ fixed point (every future window is empty), so the engine stops early and
 synthesizes the remaining no-op rounds: ``rounds_executed``,
 ``coverage_history`` and every other field still match the reference engine
 exactly.
+
+Checkpoint/resume
+-----------------
+The engine implements the checkpoint/resume protocol
+(:mod:`repro.gossip.engines.checkpoint`).  A resumed run at round ``r``
+is treated exactly like a program start: the first firing of each slot
+after ``r`` (rounds ``r+1 … r+s``) takes the dense full-knowledge path —
+there is no pre-resume delta window to build on — and the ring thereafter
+holds only post-resume deltas, so the window induction never references
+history the resumed run has not seen.  That is what makes resume bit-exact
+for *any* program suffix, which incremental schedule search relies on.
+All incremental counters are recomputed from the snapshot (the union of
+knowledge bits is time-invariant, so derived constants like the
+reachable-bit set match the cold run's).
+
+``run_checkpointed`` additionally accepts ``slot_cache``, a caller-owned
+``dict`` memoizing compiled round slots by their arc tuple.  Slot
+compilation dominates per-candidate cost on long periods, so a search walk
+passing one shared cache per (graph, engine) pays it only for rounds it
+has never seen.  The cache must not be shared across graphs.
 """
 
 from __future__ import annotations
@@ -64,6 +84,14 @@ from repro.gossip.engines.base import (
     check_initial,
     full_mask,
     initial_knowledge,
+)
+from repro.gossip.engines.checkpoint import (
+    CheckpointedRun,
+    CheckpointingMixin,
+    EngineState,
+    check_resume_state,
+    encode_arrivals,
+    normalize_checkpoint_rounds,
 )
 from repro.gossip.engines._bitops import (
     BIT_LUT as _BIT_LUT,
@@ -218,14 +246,43 @@ def _sparse_apply(
     return h_new, j_new
 
 
-class FrontierEngine:
+#: Compiled-slot caches are cleared past this size so a long search walk
+#: cannot grow one without bound (distinct rounds accumulate with every
+#: insert/mutate move).
+_SLOT_CACHE_LIMIT = 4096
+
+
+def _compiled_slots(graph, rounds, n, slot_cache):
+    """Per-round compiled slots, memoized in ``slot_cache`` when given.
+
+    The cache is keyed by round *identity* — ``make_round`` interns rounds,
+    so one search walk sees the same tuple objects over and over, and the
+    identity key avoids re-hashing a whole arc tuple per slot per run.  The
+    entry keeps a strong reference to its round, which is what makes the
+    ``id`` stable for the entry's lifetime.  The dict is opaque to callers.
+    """
+    if slot_cache is None:
+        return [_compile_slot(graph, arcs, n) for arcs in rounds]
+    slots = []
+    for arcs in rounds:
+        entry = slot_cache.get(id(arcs))
+        if entry is None:
+            if len(slot_cache) >= _SLOT_CACHE_LIMIT:
+                slot_cache.clear()
+            entry = slot_cache[id(arcs)] = (arcs, _compile_slot(graph, arcs, n))
+        slots.append(entry[1])
+    return slots
+
+
+class FrontierEngine(CheckpointingMixin):
     """Sparse frontier propagation over the packed ``uint64`` bitset matrix.
 
     Fastest backend for *periodic* schedules on sparse topologies whenever
     per-round tracking (item completion, arrival matrices) is on, and for
     thin-knowledge runs such as single-item arrival analyses; see the module
     and :mod:`repro.gossip.engines` docstrings for the crossover against the
-    dense vectorized kernel.
+    dense vectorized kernel.  Supports the checkpoint/resume protocol (see
+    the module docstring).
     """
 
     name = "frontier"
@@ -240,11 +297,52 @@ class FrontierEngine:
         track_item_completion: bool = False,
         track_arrivals: bool = False,
     ) -> SimulationResult:
+        return self.run_checkpointed(
+            program,
+            initial=initial,
+            target_mask=target_mask,
+            track_history=track_history,
+            track_item_completion=track_item_completion,
+            track_arrivals=track_arrivals,
+        ).result
+
+    def run_checkpointed(
+        self,
+        program: RoundProgram,
+        *,
+        checkpoint_rounds=(),
+        resume_from: EngineState | None = None,
+        slot_cache: dict | None = None,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+        track_arrivals: bool = False,
+    ) -> CheckpointedRun:
         if not numpy_available():  # pragma: no cover - numpy is a hard dep today
             raise SimulationError("the frontier engine requires NumPy >= 2.0")
         graph = program.graph
         n = graph.n
-        start = list(initial) if initial is not None else initial_knowledge(n)
+        state = resume_from
+        if state is not None:
+            if initial is not None:
+                raise SimulationError(
+                    "resume_from and initial are mutually exclusive "
+                    "(the state carries the knowledge vector)"
+                )
+            check_resume_state(
+                state,
+                program,
+                target_mask=target_mask,
+                track_history=track_history,
+                track_item_completion=track_item_completion,
+                track_arrivals=track_arrivals,
+            )
+            start = list(state.knowledge)
+            base = state.round
+        else:
+            start = list(initial) if initial is not None else initial_knowledge(n)
+            base = 0
         check_initial(start, n)
         full = full_mask(n) if target_mask is None else target_mask
 
@@ -262,6 +360,8 @@ class FrontierEngine:
         # covers every bit present in the initial state each new pair counts
         # toward completion and the per-pair mask test disappears; the same
         # argument lets the j < n item filters drop out in the common case.
+        # On resume these constants are recomputed from the snapshot; the
+        # bit union is time-invariant, so they match the cold run's.
         possible_bits = reduce(or_, start, 0)
         mask_covers_all = (possible_bits & ~full) == 0
         items_only = possible_bits < (1 << n)
@@ -270,42 +370,95 @@ class FrontierEngine:
         mask_total = sum(int(v & full).bit_count() for v in start)
         coverage = sum(int(v).bit_count() for v in start)
 
-        init_rows, init_cols = _set_bit_positions(knowledge)
-        init_vertex_items = init_cols < n
-
         item_rounds: np.ndarray | None = None
         item_count: np.ndarray | None = None
-        if track_item_completion:
-            item_rounds = np.full(n, -1, dtype=np.int64)
-            item_count = np.bincount(init_cols[init_vertex_items], minlength=n)
-            item_rounds[item_count == n] = 0
-
         arrivals: np.ndarray | None = None
-        if track_arrivals:
-            arrivals = np.full((n, n), -1, dtype=np.int64)
-            arrivals[init_rows[init_vertex_items], init_cols[init_vertex_items]] = 0
+        if track_item_completion or track_arrivals:
+            init_rows, init_cols = _set_bit_positions(knowledge)
+            init_vertex_items = init_cols < n
+            if track_item_completion:
+                item_count = np.bincount(init_cols[init_vertex_items], minlength=n)
+                item_rounds = np.full(n, -1, dtype=np.int64)
+                if state is not None:
+                    for j, r in enumerate(state.item_completion):
+                        if r is not None:
+                            item_rounds[j] = r
+                else:
+                    item_rounds[item_count == n] = 0
+            if track_arrivals:
+                arrivals = np.full((n, n), -1, dtype=np.int64)
+                if state is not None:
+                    for v, row in enumerate(state.arrivals):
+                        for j, r in enumerate(row):
+                            if r is not None:
+                                arrivals[v, j] = r
+                else:
+                    arrivals[
+                        init_rows[init_vertex_items], init_cols[init_vertex_items]
+                    ] = 0
 
         history: list[int] = []
         if track_history:
-            history.append(coverage)
+            if state is not None:
+                history = list(state.coverage_history)
+            else:
+                history.append(coverage)
 
-        slots = [_compile_slot(graph, arcs, n) for arcs in program.rounds]
+        slots = _compiled_slots(graph, program.rounds, n, slot_cache)
         s = len(slots)
         cyclic = program.cyclic
 
-        completion: int | None = 0 if mask_total == target_total else None
-        executed = 0
+        wanted = normalize_checkpoint_rounds(checkpoint_rounds, base)
+        captured: list[EngineState] = []
+
+        def capture(round_number: int, completion: int | None) -> None:
+            captured.append(
+                EngineState(
+                    round=round_number,
+                    knowledge=_unpack_rows(knowledge),
+                    completion_round=completion,
+                    target_mask=full,
+                    track_history=track_history,
+                    track_item_completion=track_item_completion,
+                    track_arrivals=track_arrivals,
+                    coverage_history=(
+                        tuple(history[: round_number + 1]) if track_history else None
+                    ),
+                    item_completion=None
+                    if item_rounds is None
+                    else tuple(
+                        int(x) if x >= 0 else None for x in item_rounds.tolist()
+                    ),
+                    arrivals=None
+                    if arrivals is None
+                    else encode_arrivals(arrivals.tolist()),
+                    engine_name=self.name,
+                )
+            )
+
+        if state is not None:
+            completion: int | None = state.completion_round
+        else:
+            completion = 0 if mask_total == target_total else None
+        ci = 0
+        if ci < len(wanted) and wanted[ci] == base:
+            capture(base, completion)
+            ci += 1
+
+        executed = base
         if completion is None:
             # Ring of the last s per-round delta chunks: the window a cyclic
-            # slot must offer at its next firing.
+            # slot must offer at its next firing.  After a resume the ring
+            # starts empty, so the first s post-resume rounds take the dense
+            # path (see the module docstring's resume section).
             ring: deque[tuple[np.ndarray, np.ndarray]] | None = (
                 deque(maxlen=s) if cyclic else None
             )
             idle = 0
-            for i in range(1, program.max_rounds + 1):
+            for i in range(base + 1, program.max_rounds + 1):
                 if s == 0:
                     h_new, j_new = _empty_delta()
-                elif cyclic and i > s:
+                elif cyclic and i > base + s:
                     parts = [c for c in ring if c[0].size]
                     if len(parts) == 1:
                         window_v, window_j = parts[0]
@@ -356,19 +509,28 @@ class FrontierEngine:
                     ring.append((h_new, j_new))
                 if track_history:
                     history.append(coverage)
+                if ci < len(wanted) and wanted[ci] == i:
+                    capture(i, completion)
+                    ci += 1
                 if completion is not None:
                     break
                 if cyclic and idle >= s and i < program.max_rounds:
                     # A full period without news: every future window is
                     # empty, so knowledge is a fixed point.  Synthesize the
                     # remaining no-op rounds instead of executing them; the
-                    # result is indistinguishable from running them out.
+                    # result is indistinguishable from running them out —
+                    # including the checkpoint states, which are captured
+                    # from the (frozen) matrix for every remaining wanted
+                    # round inside the budget.
                     if track_history:
                         history.extend([coverage] * (program.max_rounds - i))
                     executed = program.max_rounds
+                    while ci < len(wanted) and wanted[ci] <= program.max_rounds:
+                        capture(wanted[ci], None)
+                        ci += 1
                     break
 
-        return SimulationResult(
+        result = SimulationResult(
             graph=graph,
             rounds_executed=executed,
             completion_round=completion,
@@ -380,3 +542,4 @@ class FrontierEngine:
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
         )
+        return CheckpointedRun(result, tuple(captured))

@@ -98,11 +98,41 @@ words to (vertex, item) events only when an analysis asks for item
 granularity.  When a full period passes without any new word the state is a
 fixed point and the remaining rounds are synthesized bit-exactly, as in the
 frontier engine.
+
+Batched completion
+------------------
+On a plain run (no tracking flags) whose target mask covers every reachable
+bit, the only per-round accounting left is the popcount of each round's
+word delta feeding the incremental completion counter — ~15% of the sparse
+path.  ``batched_completion=True`` skips it: under a covering mask,
+completion means every vertex holds every reachable bit, after which no
+round can produce news — so the completion round *is* the last round that
+produced news, and one total-popcount check when the run goes quiet (at the
+fixed-point exit or the budget end) recovers it exactly.  The mode is
+metamorphic — results are bit-identical to per-round accounting (the test
+suite pins this) — and silently inactive whenever the gate (cyclic program,
+no tracking, covering mask, non-empty target) does not hold.
+
+Checkpoint/resume
+-----------------
+The engine implements the checkpoint/resume protocol
+(:mod:`repro.gossip.engines.checkpoint`).  As in the frontier engine, a
+resumed run at round ``r`` is treated exactly like a program start: every
+slot's first post-resume firing (rounds ``r+1 … r+s``) takes the dense
+full-knowledge path, and pending windows hold only post-resume deltas, so
+the word-window induction never references history the resumed run has not
+seen — resume is bit-exact for *any* program suffix.  Snapshots are
+captured in the canonical (unpermuted) encoding, so states are portable
+across engines regardless of the internal BFS bit permutation; all
+incremental counters are recomputed from the snapshot.  ``run_checkpointed``
+accepts the same caller-owned ``slot_cache`` dict as the frontier engine
+(keyed by arc tuple, not shareable across graphs).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace as _replace
 from functools import reduce
 from operator import or_
 
@@ -129,6 +159,14 @@ from repro.gossip.engines._bitops import (
     packed_width as _packed_width,
     set_bit_positions as _set_bit_positions,
     unpack_rows as _unpack_rows,
+)
+from repro.gossip.engines.checkpoint import (
+    CheckpointedRun,
+    CheckpointingMixin,
+    EngineState,
+    check_resume_state,
+    encode_arrivals,
+    normalize_checkpoint_rounds,
 )
 from repro.topologies.base import Digraph
 
@@ -242,24 +280,59 @@ def _dedup_sorted(parts: list[np.ndarray]) -> np.ndarray:
     return merged[keep]
 
 
-class HybridEngine:
+#: Compiled-slot caches are cleared past this size so a long search walk
+#: cannot grow one without bound (distinct rounds accumulate with every
+#: insert/mutate move).
+_SLOT_CACHE_LIMIT = 4096
+
+
+def _compiled_slots(graph, rounds, n, slot_cache):
+    """Per-round compiled slots, memoized in ``slot_cache`` when given.
+
+    Identity-keyed for the same reason as the frontier engine's cache: the
+    interned round tuples a search walk reuses make ``id`` both a stable
+    and a much cheaper key than hashing the arc tuple itself.
+    """
+    if slot_cache is None:
+        return [_compile_slot(graph, arcs, n) for arcs in rounds]
+    slots = []
+    for arcs in rounds:
+        entry = slot_cache.get(id(arcs))
+        if entry is None:
+            if len(slot_cache) >= _SLOT_CACHE_LIMIT:
+                slot_cache.clear()
+            entry = slot_cache[id(arcs)] = (arcs, _compile_slot(graph, arcs, n))
+        slots.append(entry[1])
+    return slots
+
+
+class HybridEngine(CheckpointingMixin):
     """Frontier-guided active-word lists over the packed dense matrix.
 
     ``dense_threshold`` is the pre-dedup window fraction of the ``n·W`` word
     matrix above which a firing takes the dense full-knowledge path instead
     of the active-word gather/scatter (``0.0`` = always dense, ``1.0`` =
     sparse up to a full-matrix-sized window); see the module docstring for
-    the crossover rationale.
+    the crossover rationale.  ``batched_completion`` skips per-round gained
+    counting on plain covering-mask runs and recovers the completion round
+    from the last news round (bit-identical by the quiet-tail argument in
+    the module docstring).  Supports the checkpoint/resume protocol.
     """
 
     name = "hybrid"
 
-    def __init__(self, *, dense_threshold: float = _DEFAULT_DENSE_THRESHOLD) -> None:
+    def __init__(
+        self,
+        *,
+        dense_threshold: float = _DEFAULT_DENSE_THRESHOLD,
+        batched_completion: bool = False,
+    ) -> None:
         if not 0.0 <= dense_threshold <= 1.0:
             raise SimulationError(
                 f"dense_threshold must be within [0, 1], got {dense_threshold!r}"
             )
         self._dense_threshold = dense_threshold
+        self._batched_completion = bool(batched_completion)
 
     def run(
         self,
@@ -271,11 +344,52 @@ class HybridEngine:
         track_item_completion: bool = False,
         track_arrivals: bool = False,
     ) -> SimulationResult:
+        return self.run_checkpointed(
+            program,
+            initial=initial,
+            target_mask=target_mask,
+            track_history=track_history,
+            track_item_completion=track_item_completion,
+            track_arrivals=track_arrivals,
+        ).result
+
+    def run_checkpointed(
+        self,
+        program: RoundProgram,
+        *,
+        checkpoint_rounds=(),
+        resume_from: EngineState | None = None,
+        slot_cache: dict | None = None,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+        track_arrivals: bool = False,
+    ) -> CheckpointedRun:
         if not numpy_available():  # pragma: no cover - numpy is a hard dep today
             raise SimulationError("the hybrid engine requires NumPy >= 2.0")
         graph = program.graph
         n = graph.n
-        start = list(initial) if initial is not None else initial_knowledge(n)
+        state = resume_from
+        if state is not None:
+            if initial is not None:
+                raise SimulationError(
+                    "resume_from and initial are mutually exclusive "
+                    "(the state carries the knowledge vector)"
+                )
+            check_resume_state(
+                state,
+                program,
+                target_mask=target_mask,
+                track_history=track_history,
+                track_item_completion=track_item_completion,
+                track_arrivals=track_arrivals,
+            )
+            start = list(state.knowledge)
+            base = state.round
+        else:
+            start = list(initial) if initial is not None else initial_knowledge(n)
+            base = 0
         check_initial(start, n)
         full = full_mask(n) if target_mask is None else target_mask
 
@@ -286,7 +400,7 @@ class HybridEngine:
         # bandwidth of the window dedup (they are upcast once per firing,
         # after the dedup, for the routing arithmetic and flat indexing).
         key_dtype = np.int32 if total_words < 2**31 else np.int64
-        slots = [_compile_slot(graph, arcs, n) for arcs in program.rounds]
+        slots = _compiled_slots(graph, program.rounds, n, slot_cache)
         s = len(slots)
         cyclic = program.cyclic
         dense_cutoff = self._dense_threshold * total_words
@@ -314,7 +428,7 @@ class HybridEngine:
             inv_pos[pos] = np.arange(n, dtype=np.int64)
 
         knowledge = np.empty((n, words), dtype=np.uint64)
-        if initial is None:
+        if initial is None and state is None:
             # The paper's initial state is the identity matrix: place each
             # vertex's own bit directly (in permuted position when relabeled).
             knowledge[:] = 0
@@ -358,16 +472,30 @@ class HybridEngine:
             if inv_pos is not None:
                 init_cols = inv_pos[init_cols]
             if track_item_completion:
-                item_rounds = np.full(n, -1, dtype=np.int64)
                 item_count = np.bincount(init_cols, minlength=n)
-                item_rounds[item_count == n] = 0
+                item_rounds = np.full(n, -1, dtype=np.int64)
+                if state is not None:
+                    for j, r in enumerate(state.item_completion):
+                        if r is not None:
+                            item_rounds[j] = r
+                else:
+                    item_rounds[item_count == n] = 0
             if track_arrivals:
                 arrivals = np.full((n, n), -1, dtype=np.int64)
-                arrivals[init_rows, init_cols] = 0
+                if state is not None:
+                    for v, row in enumerate(state.arrivals):
+                        for j, r in enumerate(row):
+                            if r is not None:
+                                arrivals[v, j] = r
+                else:
+                    arrivals[init_rows, init_cols] = 0
 
         history: list[int] = []
         if track_history:
-            history.append(coverage)
+            if state is not None:
+                history = list(state.coverage_history)
+            else:
+                history.append(coverage)
 
         track_items = item_count is not None or arrivals is not None
         # Flat (key, word) coordinates are only materialised on dense-path
@@ -375,8 +503,62 @@ class HybridEngine:
         # subset target mask, or an item-granular analysis.
         need_keys = any_sparse or track_items or (not mask_covers_all and target_pop > 0)
 
-        completion: int | None = 0 if mask_total == target_total else None
-        executed = 0
+        # Canonical (unpermuted) bit columns for snapshots and the result.
+        out_colmap: np.ndarray | None = None
+        if pos is not None:
+            out_colmap = np.concatenate([pos, np.arange(n, words * 64, dtype=np.int64)])
+
+        wanted = normalize_checkpoint_rounds(checkpoint_rounds, base)
+        captured: list[EngineState] = []
+
+        def capture(round_number: int, completion: int | None) -> None:
+            rows = knowledge if pos is None else _gather_bit_columns(knowledge, out_colmap)
+            captured.append(
+                EngineState(
+                    round=round_number,
+                    knowledge=_unpack_rows(rows),
+                    completion_round=completion,
+                    target_mask=full,
+                    track_history=track_history,
+                    track_item_completion=track_item_completion,
+                    track_arrivals=track_arrivals,
+                    coverage_history=(
+                        tuple(history[: round_number + 1]) if track_history else None
+                    ),
+                    item_completion=None
+                    if item_rounds is None
+                    else tuple(
+                        int(x) if x >= 0 else None for x in item_rounds.tolist()
+                    ),
+                    arrivals=None
+                    if arrivals is None
+                    else encode_arrivals(arrivals.tolist()),
+                    engine_name=self.name,
+                )
+            )
+
+        if state is not None:
+            completion: int | None = state.completion_round
+        else:
+            completion = 0 if mask_total == target_total else None
+        # Batched completion: legitimate only when completion is the sole
+        # per-round consumer of the word deltas (no tracking) and the target
+        # mask covers every reachable bit, so that completion implies a
+        # quiet tail and the completion round equals the last news round.
+        batched = (
+            self._batched_completion
+            and cyclic
+            and s > 0
+            and not (track_history or track_item_completion or track_arrivals)
+            and mask_covers_all
+            and target_pop > 0
+        )
+        ci = 0
+        if ci < len(wanted) and wanted[ci] == base:
+            capture(base, completion)
+            ci += 1
+
+        executed = base
         if completion is None:
             # Tail masks let production pre-filter each delta down to the
             # words a slot can actually forward (its tails' rows) — the
@@ -407,7 +589,8 @@ class HybridEngine:
             pending: list[list[np.ndarray]] = [[] for _ in slots]
             pending_raw = [0] * s
             idle = 0
-            for i in range(1, program.max_rounds + 1):
+            last_news = base
+            for i in range(base + 1, program.max_rounds + 1):
                 keys: np.ndarray | None = None
                 key_rows: np.ndarray | None = None
                 new_words: np.ndarray | None = None
@@ -422,7 +605,7 @@ class HybridEngine:
                         raw = pending_raw[k]
                         pending[k] = []
                         pending_raw[k] = 0
-                        if i <= s:
+                        if i <= base + s:
                             # First firing: dense transmission covers
                             # whatever was produced during rounds 1 … i-1.
                             pass
@@ -490,38 +673,46 @@ class HybridEngine:
 
                 if not quiet:
                     idle = 0
-                    gained = int(
-                        np.bitwise_count(new_words if keys is not None else sub).sum()
-                    )
-                    coverage += gained
-                    cols = None
-                    if mask_covers_all:
-                        mask_total += gained
-                    elif target_pop:
-                        cols = keys % words
-                        mask_total += int(
-                            np.bitwise_count(new_words & mask_words[cols]).sum()
+                    last_news = i
+                    if batched:
+                        # Completion is recovered from ``last_news`` after
+                        # the loop; nothing consumes the delta popcounts.
+                        pass
+                    else:
+                        gained = int(
+                            np.bitwise_count(
+                                new_words if keys is not None else sub
+                            ).sum()
                         )
-                    if mask_total == target_total:
-                        completion = i
-                    if track_items:
-                        if cols is None:
+                        coverage += gained
+                        cols = None
+                        if mask_covers_all:
+                            mask_total += gained
+                        elif target_pop:
                             cols = keys % words
-                        elements, j = _expand_delta_words(new_words, cols)
-                        if key_rows is None:
-                            key_rows = keys // words
-                        hv = key_rows[elements]
-                        if not items_only:
-                            vertex_items = j < n
-                            hv = hv[vertex_items]
-                            j = j[vertex_items]
-                        if inv_pos is not None:
-                            j = inv_pos[j]
-                        if item_count is not None and j.size:
-                            item_count += np.bincount(j, minlength=n)
-                            item_rounds[j[item_count[j] == n]] = i
-                        if arrivals is not None:
-                            arrivals[hv, j] = i
+                            mask_total += int(
+                                np.bitwise_count(new_words & mask_words[cols]).sum()
+                            )
+                        if mask_total == target_total:
+                            completion = i
+                        if track_items:
+                            if cols is None:
+                                cols = keys % words
+                            elements, j = _expand_delta_words(new_words, cols)
+                            if key_rows is None:
+                                key_rows = keys // words
+                            hv = key_rows[elements]
+                            if not items_only:
+                                vertex_items = j < n
+                                hv = hv[vertex_items]
+                                j = j[vertex_items]
+                            if inv_pos is not None:
+                                j = inv_pos[j]
+                            if item_count is not None and j.size:
+                                item_count += np.bincount(j, minlength=n)
+                                item_rounds[j[item_count[j] == n]] = i
+                            if arrivals is not None:
+                                arrivals[hv, j] = i
                     if completion is None and keys is not None:
                         # Production-time pre-split: hand this round's delta
                         # to every sparse-capable slot's pending window by
@@ -547,26 +738,49 @@ class HybridEngine:
 
                 if track_history:
                     history.append(coverage)
+                if ci < len(wanted) and wanted[ci] == i:
+                    capture(i, completion)
+                    ci += 1
                 if completion is not None:
                     break
                 if cyclic and idle >= s and i < program.max_rounds:
                     # A full period without news: every pending window is
                     # empty, so knowledge is a fixed point.  Synthesize the
                     # remaining no-op rounds bit-exactly instead of
-                    # executing them.
+                    # executing them — checkpoint states included.
                     if track_history:
                         history.extend([coverage] * (program.max_rounds - i))
                     executed = program.max_rounds
+                    while ci < len(wanted) and wanted[ci] <= program.max_rounds:
+                        capture(wanted[ci], None)
+                        ci += 1
                     break
+
+            if batched and completion is None:
+                # The run went quiet (fixed point or budget end) without a
+                # per-round completion check.  Under a covering mask a
+                # complete state produces no further news, so completeness
+                # now means completeness ever since the last news round —
+                # one total-popcount scan recovers the exact round.
+                if int(np.bitwise_count(knowledge).sum()) == target_total:
+                    completion = last_news
+                    executed = completion
+                    # Per-round accounting would have stopped at completion:
+                    # drop snapshots it never captured, stamp the one taken
+                    # at the completing round.
+                    captured[:] = [
+                        _replace(st, completion_round=completion)
+                        if st.round == completion
+                        else st
+                        for st in captured
+                        if st.round <= completion
+                    ]
 
         if pos is None:
             final = knowledge
         else:
-            out_colmap = np.concatenate(
-                [pos, np.arange(n, words * 64, dtype=np.int64)]
-            )
             final = _gather_bit_columns(knowledge, out_colmap)
-        return SimulationResult(
+        result = SimulationResult(
             graph=graph,
             rounds_executed=executed,
             completion_round=completion,
@@ -578,3 +792,4 @@ class HybridEngine:
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
         )
+        return CheckpointedRun(result, tuple(captured))

@@ -6,6 +6,11 @@ against it.  Knowledge sets are arbitrary-precision Python integers (bit
 ``j`` set iff the vertex knows item ``j``); set union is integer OR, which
 gives exact semantics with no dependencies.  It is deliberately simple and
 obviously correct rather than fast — the vectorized engine exists for speed.
+
+It also implements the checkpoint/resume protocol
+(:mod:`repro.gossip.engines.checkpoint`): a resumed run simply restarts the
+loop from the snapshot's knowledge vector at the snapshot's round, which
+makes this engine the oracle for the differential resume suite as well.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from functools import reduce
 from operator import and_
 
+from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
     ArrivalRounds,
     RoundProgram,
@@ -22,11 +28,20 @@ from repro.gossip.engines.base import (
     initial_knowledge,
     iter_set_bits,
 )
+from repro.gossip.engines.checkpoint import (
+    CheckpointedRun,
+    CheckpointingMixin,
+    EngineState,
+    check_resume_state,
+    decode_arrivals_lists,
+    encode_arrivals,
+    normalize_checkpoint_rounds,
+)
 
 __all__ = ["ReferenceEngine"]
 
 
-class ReferenceEngine:
+class ReferenceEngine(CheckpointingMixin):
     """Arbitrary-precision-integer bitset loop (one Python iteration per arc)."""
 
     name = "reference"
@@ -41,41 +56,119 @@ class ReferenceEngine:
         track_item_completion: bool = False,
         track_arrivals: bool = False,
     ) -> SimulationResult:
+        return self.run_checkpointed(
+            program,
+            initial=initial,
+            target_mask=target_mask,
+            track_history=track_history,
+            track_item_completion=track_item_completion,
+            track_arrivals=track_arrivals,
+        ).result
+
+    def run_checkpointed(
+        self,
+        program: RoundProgram,
+        *,
+        checkpoint_rounds=(),
+        resume_from: EngineState | None = None,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+        track_arrivals: bool = False,
+    ) -> CheckpointedRun:
         graph = program.graph
         n = graph.n
-        knowledge = list(initial) if initial is not None else initial_knowledge(n)
-        check_initial(knowledge, n)
         full = full_mask(n) if target_mask is None else target_mask
         index = graph.index
 
+        state = resume_from
+        if state is not None:
+            if initial is not None:
+                raise SimulationError(
+                    "resume_from and initial are mutually exclusive "
+                    "(the state carries the knowledge vector)"
+                )
+            check_resume_state(
+                state,
+                program,
+                target_mask=target_mask,
+                track_history=track_history,
+                track_item_completion=track_item_completion,
+                track_arrivals=track_arrivals,
+            )
+            knowledge = list(state.knowledge)
+            base = state.round
+        else:
+            knowledge = list(initial) if initial is not None else initial_knowledge(n)
+            base = 0
+        check_initial(knowledge, n)
+
         history: list[int] = []
         if track_history:
-            history.append(sum(bin(k).count("1") for k in knowledge))
+            if state is not None:
+                history = list(state.coverage_history)
+            else:
+                history.append(sum(bin(k).count("1") for k in knowledge))
 
         item_rounds: list[int | None] | None = None
         known_by_all = 0
         if track_item_completion:
-            item_rounds = [None] * n
             known_by_all = reduce(and_, knowledge)
-            for j in iter_set_bits(known_by_all):
-                if j < n:
-                    item_rounds[j] = 0
+            if state is not None:
+                item_rounds = list(state.item_completion)
+            else:
+                item_rounds = [None] * n
+                for j in iter_set_bits(known_by_all):
+                    if j < n:
+                        item_rounds[j] = 0
 
         arrivals: list[list[int | None]] | None = None
         if track_arrivals:
-            arrivals = [[None] * n for _ in range(n)]
-            for v, bits in enumerate(knowledge):
-                for j in iter_set_bits(bits):
-                    if j < n:
-                        arrivals[v][j] = 0
+            if state is not None:
+                arrivals = decode_arrivals_lists(state.arrivals)
+            else:
+                arrivals = [[None] * n for _ in range(n)]
+                for v, bits in enumerate(knowledge):
+                    for j in iter_set_bits(bits):
+                        if j < n:
+                            arrivals[v][j] = 0
+
+        wanted = normalize_checkpoint_rounds(checkpoint_rounds, base)
+        captured: list[EngineState] = []
+
+        def capture(round_number: int, completion: int | None) -> None:
+            captured.append(
+                EngineState(
+                    round=round_number,
+                    knowledge=tuple(knowledge),
+                    completion_round=completion,
+                    target_mask=full,
+                    track_history=track_history,
+                    track_item_completion=track_item_completion,
+                    track_arrivals=track_arrivals,
+                    coverage_history=tuple(history) if track_history else None,
+                    item_completion=None if item_rounds is None else tuple(item_rounds),
+                    arrivals=None if arrivals is None else encode_arrivals(arrivals),
+                    engine_name=self.name,
+                )
+            )
 
         def is_done() -> bool:
             return all(k & full == full for k in knowledge)
 
-        completion: int | None = 0 if is_done() else None
-        executed = 0
+        if state is not None:
+            completion = state.completion_round
+        else:
+            completion = 0 if is_done() else None
+        ci = 0
+        if ci < len(wanted) and wanted[ci] == base:
+            capture(base, completion)
+            ci += 1
+
+        executed = base
         if completion is None:
-            for round_number in range(1, program.max_rounds + 1):
+            for round_number in range(base + 1, program.max_rounds + 1):
                 arcs = program.arcs_at(round_number)
                 if arcs:
                     snapshot = knowledge  # reads below use pre-round values
@@ -100,9 +193,13 @@ class ReferenceEngine:
                     known_by_all = now_known
                 if is_done():
                     completion = round_number
+                if ci < len(wanted) and wanted[ci] == round_number:
+                    capture(round_number, completion)
+                    ci += 1
+                if completion is not None:
                     break
 
-        return SimulationResult(
+        result = SimulationResult(
             graph=graph,
             rounds_executed=executed,
             completion_round=completion,
@@ -112,3 +209,4 @@ class ReferenceEngine:
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
         )
+        return CheckpointedRun(result, tuple(captured))

@@ -41,12 +41,22 @@ class Mode(enum.Enum):
 #: One communication round: an ordered tuple of arcs (``A_i`` in the paper).
 Round = tuple[Arc, ...]
 
+#: Intern table for :func:`make_round`.  Structurally equal rounds come out
+#: of ``make_round`` as the *same* tuple object, which turns the period
+#: comparisons the incremental search layer performs constantly (prefix
+#: agreement between candidates, cache-key equality) into pointer checks.
+#: Purely an optimisation: consumers must still compare rounds by value.
+_ROUND_INTERN_LIMIT = 1 << 16
+_interned_rounds: dict[Round, Round] = {}
+
 
 def make_round(arcs: Iterable[Arc]) -> Round:
     """Normalise an iterable of ``(tail, head)`` pairs into a round.
 
     Duplicate arcs within a round are rejected: an arc is either active or
-    not, and silently deduplicating would hide caller bugs.
+    not, and silently deduplicating would hide caller bugs.  Equal rounds
+    are interned to one canonical tuple (identity implies equality, not the
+    reverse — rounds built by hand bypass the table).
     """
     result: list[Arc] = []
     seen: set[Arc] = set()
@@ -57,7 +67,13 @@ def make_round(arcs: Iterable[Arc]) -> Round:
             raise ProtocolError(f"arc {normalized!r} listed twice in the same round")
         seen.add(normalized)
         result.append(normalized)
-    return tuple(result)
+    candidate = tuple(result)
+    cached = _interned_rounds.get(candidate)
+    if cached is not None:
+        return cached
+    if len(_interned_rounds) < _ROUND_INTERN_LIMIT:
+        _interned_rounds[candidate] = candidate
+    return candidate
 
 
 class GossipProtocol:

@@ -22,6 +22,10 @@ Layout
   periods (resequencing, round surgery, period ± 1);
 * :mod:`~repro.search.objective` — candidate scoring through the engine
   registry, with the batched ``evaluate_candidates`` path;
+* :mod:`~repro.search.incremental` — the per-walk :class:`CheckpointCache`
+  behind ``incremental=True`` evaluation: candidates sharing a period
+  prefix resume each other's engine checkpoints instead of re-simulating
+  from round 0, bit-identically by the engines' resume contract;
 * :mod:`~repro.search.local_search` — seeded hill climbing, simulated
   annealing with restarts, and the :func:`synthesize_schedule` driver;
 * :mod:`~repro.search.gap` — the certified ``(found, lower_bound, gap)``
@@ -62,6 +66,7 @@ from __future__ import annotations
 
 from repro.search.constructors import edge_coloring_seed, greedy_frontier_schedule
 from repro.search.gap import GapReport, certified_gap
+from repro.search.incremental import CheckpointCache
 from repro.search.local_search import (
     SearchResult,
     hill_climb,
@@ -79,6 +84,7 @@ from repro.search.objective import (
 )
 
 __all__ = [
+    "CheckpointCache",
     "GapReport",
     "MOVE_KINDS",
     "Neighborhood",

@@ -29,6 +29,7 @@ from repro.search.moves import Neighborhood
 from repro.search.objective import (
     ObjectiveValue,
     RobustnessSpec,
+    _CachedObjective,
     evaluate_program,
     program_for_rounds,
 )
@@ -80,19 +81,52 @@ class _Evaluator:
     ``robustness`` (a :class:`~repro.search.objective.RobustnessSpec`) is
     resolved here once per search, so every candidate of the run is scored
     against the same seeded fault sample.
+
+    ``incremental=True`` swaps the per-candidate :func:`evaluate_program`
+    call for a per-walk :class:`~repro.search.objective._CachedObjective`:
+    repeated periods are memoized, checkpointable engines resume shared
+    period prefixes instead of re-simulating them, and drivers holding a
+    complete incumbent may pass ``cutoff`` to bound a candidate's budget
+    at the incumbent's completion round.  Every *accepted* candidate is
+    still scored exactly (cutoff rejects return an ``inf`` sentinel whose
+    reject decision matches the exact score's), so a walk visits the
+    identical state sequence either way — incremental mode changes the
+    cost of an evaluation, never its outcome.
     """
 
     def __init__(
-        self, graph: Digraph, engine, objective: str, robustness=None
+        self,
+        graph: Digraph,
+        engine,
+        objective: str,
+        robustness=None,
+        *,
+        incremental: bool = False,
     ) -> None:
         self.graph = graph
         self.engine: SimulationEngine = resolve_engine(engine)
         self.objective = objective
         self.robustness = robustness
-        self.evaluations = 0
+        self.incremental = incremental
+        self._cached = (
+            _CachedObjective(graph, self.engine, objective, robustness)
+            if incremental
+            else None
+        )
+        self._plain_evaluations = 0
 
-    def __call__(self, rounds: tuple[Round, ...]) -> ObjectiveValue:
-        self.evaluations += 1
+    @property
+    def evaluations(self) -> int:
+        if self._cached is not None:
+            return self._cached.evaluations
+        return self._plain_evaluations
+
+    def __call__(
+        self, rounds: tuple[Round, ...], *, cutoff: int | None = None
+    ) -> ObjectiveValue:
+        if self._cached is not None:
+            return self._cached(rounds, cutoff=cutoff)
+        self._plain_evaluations += 1
         return evaluate_program(
             program_for_rounds(self.graph, rounds),
             self.engine,
@@ -140,6 +174,7 @@ def hill_climb(
     engine: str | SimulationEngine | None = "auto",
     robustness: RobustnessSpec | None = None,
     initial_value: ObjectiveValue | None = None,
+    incremental: bool = False,
 ) -> SearchResult:
     """First-improvement hill climbing from one seed schedule.
 
@@ -148,10 +183,19 @@ def hill_climb(
     stops after ``max_iters`` proposals or ``patience`` consecutive
     rejections.  ``initial_value`` skips re-scoring a seed the caller
     already evaluated (``synthesize_schedule`` scores all seeds as a batch).
+
+    ``incremental=True`` evaluates candidates through the checkpoint-
+    reusing cached objective (see :class:`_Evaluator`); the climb
+    additionally bounds each candidate's budget at the incumbent's
+    completion round, which preserves every accept/reject decision and
+    therefore the visited state sequence, the winner and the improvement
+    history bit for bit.
     """
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
-    evaluator = _Evaluator(schedule.graph, engine, objective, robustness)
+    evaluator = _Evaluator(
+        schedule.graph, engine, objective, robustness, incremental=incremental
+    )
 
     current = tuple(schedule.base_rounds)
     current_value = initial_value if initial_value is not None else evaluator(current)
@@ -167,7 +211,12 @@ def hill_climb(
             if stale >= patience:
                 break
             continue
-        value = evaluator(candidate)
+        # A complete incumbent's completion round bounds how far any
+        # *improving* candidate can need to run; ties at the cutoff are
+        # still scored exactly, keeping the secondary key comparisons
+        # (period length, arc count) intact.
+        cutoff = current_value.rounds if current_value.complete else None
+        value = evaluator(candidate, cutoff=cutoff)
         if _key(value, candidate) < _key(current_value, current):
             current, current_value = candidate, value
             stale = 0
@@ -198,6 +247,7 @@ def simulated_annealing(
     engine: str | SimulationEngine | None = "auto",
     robustness: RobustnessSpec | None = None,
     initial_value: ObjectiveValue | None = None,
+    incremental: bool = False,
 ) -> SearchResult:
     """Simulated annealing with geometric cooling and best-state restarts.
 
@@ -209,12 +259,19 @@ def simulated_annealing(
     incumbent.  The returned winner is always the best state ever visited.
     ``initial_value`` skips re-scoring a pre-evaluated seed, as in
     :func:`hill_climb`.
+
+    ``incremental=True`` enables memoized, checkpoint-resuming candidate
+    evaluation (see :class:`_Evaluator`).  No budget cutoff applies here:
+    the Boltzmann acceptance needs every candidate's *exact* score, not
+    just the reject decision a truncated run can prove.
     """
     if not 0.0 < cooling < 1.0:
         raise SimulationError(f"cooling must lie in (0, 1), got {cooling}")
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
-    evaluator = _Evaluator(schedule.graph, engine, objective, robustness)
+    evaluator = _Evaluator(
+        schedule.graph, engine, objective, robustness, incremental=incremental
+    )
 
     best_rounds = tuple(schedule.base_rounds)
     best_value = initial_value if initial_value is not None else evaluator(best_rounds)
@@ -259,6 +316,7 @@ def synthesize_schedule(
     neighborhood: Neighborhood | None = None,
     engine: str | SimulationEngine | None = "auto",
     robustness: RobustnessSpec | None = None,
+    incremental: bool = False,
 ) -> SearchResult:
     """Synthesize an s-systolic gossip schedule for ``graph`` under ``mode``.
 
@@ -274,6 +332,9 @@ def synthesize_schedule(
 
     Deterministic for a fixed ``(strategy, objective, seed, …)``
     configuration; see :mod:`repro.search` for strategy-selection guidance.
+    ``incremental`` threads checkpoint-reusing evaluation (see
+    :func:`hill_climb`) through seed scoring and every driver pass without
+    changing any outcome.
     """
     if strategy not in STRATEGIES:
         raise SimulationError(
@@ -292,7 +353,9 @@ def synthesize_schedule(
             random_systolic_schedule(graph, baseline_period, mode, rng=rng)
         )
 
-    evaluator = _Evaluator(graph, resolved, objective, robustness)
+    evaluator = _Evaluator(
+        graph, resolved, objective, robustness, incremental=incremental
+    )
     scored = sorted(
         (
             (evaluator(tuple(s.base_rounds)), s)
@@ -314,6 +377,7 @@ def synthesize_schedule(
             neighborhood=moves,
             engine=resolved,
             robustness=robustness,
+            incremental=incremental,
         )
         if strategy == "anneal":
             results.append(

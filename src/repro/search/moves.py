@@ -33,7 +33,12 @@ from repro.exceptions import ProtocolError
 from repro.gossip.model import Mode, Round, make_round
 from repro.topologies.base import Arc, Digraph, Vertex
 
-__all__ = ["Neighborhood", "MOVE_KINDS", "activation_units"]
+__all__ = [
+    "Neighborhood",
+    "MOVE_KINDS",
+    "activation_units",
+    "common_prefix_length",
+]
 
 #: The move kinds a :class:`Neighborhood` can propose, by name.
 MOVE_KINDS = (
@@ -52,6 +57,28 @@ Rounds = tuple[Round, ...]
 
 def _endpoints(round_arcs: Round) -> set[Vertex]:
     return {v for arc in round_arcs for v in arc}
+
+
+def common_prefix_length(a: Sequence[Round], b: Sequence[Round]) -> int:
+    """Number of leading period slots on which two candidates agree.
+
+    This is the quantity incremental evaluation keys on: for two *cyclic*
+    programs, executed rounds ``1 … L`` (with ``L`` the common prefix
+    length) are identical — round ``i ≤ L`` fires slot ``i - 1`` in both
+    periods regardless of their lengths — so any engine checkpoint of one
+    candidate at a round ``≤ L`` is bit-exactly a checkpoint of the other.
+    Beyond ``L`` the slot mappings may diverge (a changed slot, or a length
+    change shifting every later slot), so nothing past it is reusable.
+    """
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        x, y = a[i], b[i]
+        # Moves copy the untouched slots by reference, so along a search
+        # walk almost every pair hits the identity test; the structural
+        # comparison only runs for genuinely re-built rounds.
+        if x is not y and x != y:
+            return i
+    return limit
 
 
 def activation_units(graph: Digraph, mode: Mode) -> list[tuple[Arc, Arc]]:
@@ -235,6 +262,22 @@ class Neighborhood:
         return rounds[:i] + rounds[i + 1 :]
 
     # -- driver API ------------------------------------------------------ #
+    @staticmethod
+    def first_modified_round(
+        before: Sequence[Round], after: Sequence[Round]
+    ) -> int | None:
+        """The first executed round a move changes, or ``None`` for a no-op.
+
+        Every executed round strictly below the returned value is identical
+        between the two candidates' cyclic programs, so a checkpoint of
+        ``before`` at any round ``< first_modified_round`` resumes ``after``
+        bit-exactly (see :func:`common_prefix_length`).  ``propose`` returns
+        its input unchanged on dead ends; that case maps to ``None``.
+        """
+        if tuple(before) == tuple(after):
+            return None
+        return common_prefix_length(before, after) + 1
+
     def propose(
         self,
         rounds: Sequence[Round],

@@ -36,15 +36,22 @@ nominal rounds for fault tolerance.
 
 from __future__ import annotations
 
+import inspect
+import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
 from repro.faults.models import FaultModel
 from repro.faults.montecarlo import _run_batched, default_horizon
-from repro.gossip.engines import SimulationEngine, resolve_engine
+from repro.gossip.engines import SimulationEngine, resolve_engine, supports_checkpointing
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Round, SystolicSchedule
+from repro.search.incremental import (
+    CheckpointCache,
+    PeriodKey,
+    default_checkpoint_rounds,
+)
 from repro.topologies.base import Digraph
 
 __all__ = [
@@ -152,24 +159,48 @@ def _incomplete_score(result, n: int) -> float:
     return INCOMPLETE_PENALTY + float(missing)
 
 
+def _check_objective(objective: str, robustness: RobustnessSpec | None) -> None:
+    if objective not in OBJECTIVES:
+        raise SimulationError(
+            f"unknown search objective {objective!r}; expected one of {OBJECTIVES}"
+        )
+    if objective == "robust_gossip_rounds" and robustness is None:
+        raise SimulationError(
+            "the robust_gossip_rounds objective needs a RobustnessSpec "
+            "(pass robustness=RobustnessSpec(model, trials, seed))"
+        )
+
+
+def _nominal_run_options(objective: str) -> dict:
+    """Engine options of the objective's nominal (fault-free) run.
+
+    This is the run incremental evaluation checkpoints and resumes: the
+    eccentricity objectives need the per-item completion rounds tracked,
+    everything else is a plain completion run.
+    """
+    if objective in ("max_eccentricity", "mean_eccentricity"):
+        return {"track_history": False, "track_item_completion": True}
+    return {"track_history": False}
+
+
 def _robust_score(
     program: RoundProgram,
     engine: SimulationEngine,
     spec: RobustnessSpec,
+    result,
 ) -> ObjectiveValue:
     """Mean per-trial cost over the spec's seeded fault sample.
 
-    A fault-free incomplete candidate is graded exactly like
-    ``gossip_rounds`` (no trials are spent on it); a completing candidate
-    scores the mean over trials of its completion round, failed trials
-    contributing the horizon plus their missing (vertex, item) pairs so
-    that likelier-to-complete candidates always sort ahead.  The trials
-    always run through the batched Monte-Carlo kernel (the looped
-    per-engine path replays the identical realisation, so the score is
-    engine-independent regardless).
+    ``result`` is the candidate's fault-free nominal run.  An incomplete
+    candidate is graded exactly like ``gossip_rounds`` (no trials are spent
+    on it); a completing candidate scores the mean over trials of its
+    completion round, failed trials contributing the horizon plus their
+    missing (vertex, item) pairs so that likelier-to-complete candidates
+    always sort ahead.  The trials always run through the batched
+    Monte-Carlo kernel (the looped per-engine path replays the identical
+    realisation, so the score is engine-independent regardless).
     """
     n = program.graph.n
-    result = engine.run(program, track_history=False)
     if result.completion_round is None:
         return ObjectiveValue(_incomplete_score(result, n), False, None, engine.name)
     nominal = result.completion_round
@@ -189,17 +220,21 @@ def _robust_score(
     return ObjectiveValue(total / spec.trials, True, nominal, engine.name)
 
 
-def evaluate_program(
+def _score_result(
+    result,
     program: RoundProgram,
     engine: SimulationEngine,
-    *,
-    objective: str = "gossip_rounds",
-    robustness: RobustnessSpec | None = None,
+    objective: str,
+    robustness: RobustnessSpec | None,
 ) -> ObjectiveValue:
-    """Score one compiled candidate on a resolved engine instance."""
+    """Score a candidate from its already-executed nominal run.
+
+    ``result`` must come from a run under :func:`_nominal_run_options` of
+    the same objective; splitting scoring from running is what lets the
+    incremental evaluator substitute a resumed run for a cold one.
+    """
     n = program.graph.n
     if objective == "gossip_rounds":
-        result = engine.run(program, track_history=False)
         if result.completion_round is None:
             return ObjectiveValue(
                 _incomplete_score(result, n), False, None, engine.name
@@ -208,34 +243,37 @@ def evaluate_program(
             float(result.completion_round), True, result.completion_round, engine.name
         )
     if objective == "robust_gossip_rounds":
-        if robustness is None:
-            raise SimulationError(
-                "the robust_gossip_rounds objective needs a RobustnessSpec "
-                "(pass robustness=RobustnessSpec(model, trials, seed))"
-            )
-        return _robust_score(program, engine, robustness)
-    if objective in ("max_eccentricity", "mean_eccentricity"):
-        result = engine.run(program, track_history=False, track_item_completion=True)
-        times = result.item_completion_rounds
-        assert times is not None
-        if result.completion_round is None:
-            # Grade primarily by missing pairs, with unfinished broadcasts as
-            # a tie-break so nearly-complete candidates sort ahead.
-            unfinished = sum(1 for t in times if t is None)
-            return ObjectiveValue(
-                _incomplete_score(result, n) + float(unfinished) / (n + 1),
-                False,
-                None,
-                engine.name,
-            )
-        if objective == "max_eccentricity":
-            score = float(max(times))
-        else:
-            score = sum(times) / len(times)
-        return ObjectiveValue(score, True, result.completion_round, engine.name)
-    raise SimulationError(
-        f"unknown search objective {objective!r}; expected one of {OBJECTIVES}"
-    )
+        return _robust_score(program, engine, robustness, result)
+    times = result.item_completion_rounds
+    assert times is not None
+    if result.completion_round is None:
+        # Grade primarily by missing pairs, with unfinished broadcasts as
+        # a tie-break so nearly-complete candidates sort ahead.
+        unfinished = sum(1 for t in times if t is None)
+        return ObjectiveValue(
+            _incomplete_score(result, n) + float(unfinished) / (n + 1),
+            False,
+            None,
+            engine.name,
+        )
+    if objective == "max_eccentricity":
+        score = float(max(times))
+    else:
+        score = sum(times) / len(times)
+    return ObjectiveValue(score, True, result.completion_round, engine.name)
+
+
+def evaluate_program(
+    program: RoundProgram,
+    engine: SimulationEngine,
+    *,
+    objective: str = "gossip_rounds",
+    robustness: RobustnessSpec | None = None,
+) -> ObjectiveValue:
+    """Score one compiled candidate on a resolved engine instance."""
+    _check_objective(objective, robustness)
+    result = engine.run(program, **_nominal_run_options(objective))
+    return _score_result(result, program, engine, objective, robustness)
 
 
 def evaluate_schedule(
@@ -253,6 +291,149 @@ def evaluate_schedule(
     )
 
 
+class _CachedObjective:
+    """Memoizing, checkpoint-reusing objective evaluator for one search walk.
+
+    Wraps one ``(graph, engine, objective)`` context and scores candidate
+    periods through :func:`_score_result`, with three layers the plain
+    :func:`evaluate_program` path does not have:
+
+    * **memoization** — identical periods (tuples) are scored once; a walk
+      that re-proposes a rejected neighbour pays nothing.  Only *exact*
+      values are memoized, never cutoff sentinels.
+    * **checkpoint reuse** — on a checkpointable engine, every run captures
+      power-of-two round states (:func:`default_checkpoint_rounds`) into a
+      per-walk :class:`CheckpointCache`; the next candidate resumes from
+      the deepest state its common prefix with a cached period still
+      covers, so a move touching slot ``k`` re-simulates only rounds
+      ``> k``.  Resume is bit-exact by the engines' contract, so scores
+      are identical to cold evaluation by construction.  Engines whose
+      ``run_checkpointed`` accepts a ``slot_cache`` additionally share
+      compiled per-round firing plans across the walk.
+    * **bounded cutoff** — under the ``gossip_rounds`` objective a caller
+      holding a complete incumbent at round ``C`` may pass ``cutoff=C``:
+      the candidate's budget drops to ``C``, and a run that fails to
+      complete within it only proves the true score exceeds ``C``, which
+      is all a strictly-improving driver needs to reject.  Such runs
+      return an ``inf``-scored sentinel (complete=False) and are not
+      memoized; runs completing within the cutoff are exact as usual.
+      Candidates tying the incumbent at exactly ``C`` are therefore still
+      scored exactly, keeping secondary tie-breaks (period length, arc
+      count) intact.
+    """
+
+    def __init__(
+        self,
+        graph: Digraph,
+        engine: SimulationEngine,
+        objective: str = "gossip_rounds",
+        robustness: RobustnessSpec | None = None,
+        *,
+        max_rounds: int | None = None,
+    ) -> None:
+        _check_objective(objective, robustness)
+        self.graph = graph
+        self.engine = engine
+        self.objective = objective
+        self.robustness = robustness
+        self.max_rounds = max_rounds
+        self._options = _nominal_run_options(objective)
+        self._incremental = supports_checkpointing(engine)
+        self._accepts_slot_cache = self._incremental and (
+            "slot_cache" in inspect.signature(engine.run_checkpointed).parameters
+        )
+        self._slot_cache: dict = {}
+        self.cache = CheckpointCache()
+        self._memo: dict[PeriodKey, ObjectiveValue] = {}
+        # Proven score lower bounds from truncated runs: period -> largest
+        # cutoff the candidate failed to complete within.  A later call with
+        # a cutoff at or below the bound can reject without running.
+        self._bound: dict[PeriodKey, int] = {}
+        self._horizon: int | None = None
+        #: Engine runs performed (memo hits cost none).
+        self.evaluations = 0
+
+    def _budget(self, period: tuple[Round, ...]) -> int:
+        if self.max_rounds is not None:
+            return self.max_rounds
+        return max(4 * len(period) * self.graph.n, 16)
+
+    def _checkpoint_grid(self, budget: int) -> list[int]:
+        """Capture rounds for one run: powers of two, densified near the scale
+        the walk actually runs at.
+
+        The power-of-two grid guarantees a resume from at least half of any
+        shared prefix, but its gaps grow with depth while real runs end near
+        the incumbent's completion round — far below the nominal budget.  So
+        once a completion has been observed, evenly spaced captures at an
+        eighth of that horizon are added: a late-slot move then resumes
+        within ``horizon/8`` rounds of its full shared prefix instead of
+        falling back half-way.  The spacing balances per-capture snapshot
+        cost against expected re-simulated rounds; capture rounds the run
+        never reaches cost nothing.
+        """
+        grid = set(default_checkpoint_rounds(budget))
+        if self._horizon is not None:
+            step = max(8, self._horizon // 8)
+            grid.update(range(step, min(budget, 2 * self._horizon) + 1, step))
+        return sorted(grid)
+
+    def __call__(
+        self, rounds: Sequence[Round], *, cutoff: int | None = None
+    ) -> ObjectiveValue:
+        # One PeriodKey per evaluation caches the (expensive) period hash
+        # across the memo, the bound table and the checkpoint cache.
+        key = PeriodKey(rounds)
+        period = key.period
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            return memoized
+        budget = self._budget(period)
+        truncated = (
+            cutoff is not None
+            and self.objective == "gossip_rounds"
+            and cutoff < budget
+        )
+        if truncated:
+            bound = self._bound.get(key)
+            if bound is not None and cutoff <= bound:
+                # Already proven not to complete within `bound >= cutoff`
+                # rounds, so the true score exceeds the cutoff: reject free.
+                return ObjectiveValue(math.inf, False, None, self.engine.name)
+            budget = cutoff
+        program = RoundProgram(self.graph, period, cyclic=True, max_rounds=budget)
+        self.evaluations += 1
+        if self._incremental:
+            base, usable = self.cache.lookup(key, max_round=budget)
+            kwargs = dict(self._options)
+            if self._accepts_slot_cache:
+                kwargs["slot_cache"] = self._slot_cache
+            run = self.engine.run_checkpointed(
+                program,
+                checkpoint_rounds=[
+                    r for r in self._checkpoint_grid(budget) if r not in usable
+                ],
+                resume_from=base,
+                **kwargs,
+            )
+            # The reused prefix states are equally states of this period.
+            self.cache.record(key, [*usable.values(), *run.checkpoints])
+            result = run.result
+            if result.completion_round is not None:
+                self._horizon = result.completion_round
+        else:
+            result = self.engine.run(program, **self._options)
+        if truncated and result.completion_round is None:
+            previous = self._bound.get(key)
+            self._bound[key] = cutoff if previous is None else max(previous, cutoff)
+            return ObjectiveValue(math.inf, False, None, self.engine.name)
+        value = _score_result(
+            result, program, self.engine, self.objective, self.robustness
+        )
+        self._memo[key] = value
+        return value
+
+
 def evaluate_candidates(
     schedules: Iterable[SystolicSchedule],
     *,
@@ -260,6 +441,7 @@ def evaluate_candidates(
     max_rounds: int | None = None,
     engine: str | SimulationEngine | None = "auto",
     robustness: RobustnessSpec | None = None,
+    incremental: bool = False,
 ) -> list[ObjectiveValue]:
     """Score a batch of candidates on one resolved engine instance.
 
@@ -269,14 +451,31 @@ def evaluate_candidates(
     (no candidate silently falling back to a different engine).  The same
     holds for ``robustness``: one spec means one fixed seeded fault
     distribution for the whole batch.
+
+    ``incremental=True`` routes the batch through per-graph
+    :class:`_CachedObjective` evaluators: duplicate candidates are scored
+    once, and on checkpointable engines candidates sharing period prefixes
+    resume each other's runs mid-way.  Scores are bit-identical to the
+    plain path by the engines' resume contract.
     """
     resolved = resolve_engine(engine)
-    return [
-        evaluate_program(
-            program_for_rounds(s.graph, s.base_rounds, max_rounds),
-            resolved,
-            objective=objective,
-            robustness=robustness,
-        )
-        for s in schedules
-    ]
+    if not incremental:
+        return [
+            evaluate_program(
+                program_for_rounds(s.graph, s.base_rounds, max_rounds),
+                resolved,
+                objective=objective,
+                robustness=robustness,
+            )
+            for s in schedules
+        ]
+    evaluators: dict[int, _CachedObjective] = {}
+    values = []
+    for s in schedules:
+        evaluator = evaluators.get(id(s.graph))
+        if evaluator is None:
+            evaluator = evaluators[id(s.graph)] = _CachedObjective(
+                s.graph, resolved, objective, robustness, max_rounds=max_rounds
+            )
+        values.append(evaluator(s.base_rounds))
+    return values

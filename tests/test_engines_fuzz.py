@@ -22,6 +22,7 @@ from repro.gossip.engines import (
     VectorizedEngine,
     available_engines,
     get_engine,
+    supports_checkpointing,
 )
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Mode, make_round
@@ -54,13 +55,15 @@ def engine_constructions(draw):
     The registry holds one default-configured singleton per backend; this
     strategy additionally sweeps the knobs the constructors expose — the
     hybrid engine's dense-fallback threshold (0.0 = always dense, 1.0 =
-    always sparse) and the vectorized kernel's tile size (``None`` = the
-    untiled PR 1 kernel, small values force many tiles even on tiny
-    instances).
+    always sparse) and batched-completion mode (which must be metamorphic
+    under every drawn program and option set), and the vectorized kernel's
+    tile size (``None`` = the untiled PR 1 kernel, small values force many
+    tiles even on tiny instances).
     """
     engines = [
         HybridEngine(
-            dense_threshold=draw(st.sampled_from([0.0, 0.125, 0.5, 1.0]))
+            dense_threshold=draw(st.sampled_from([0.0, 0.125, 0.5, 1.0])),
+            batched_completion=draw(st.booleans()),
         ),
         VectorizedEngine(tile_bytes=draw(st.sampled_from([None, 1 << 10]))),
     ]
@@ -196,6 +199,52 @@ def test_directed_fuzz_constructor_kwargs(case, engines):
     """Arbitrary directed programs under drawn engine-constructor kwargs."""
     program, options = case
     check_constructed_engines(program, engines, options, "directed-kwargs")
+
+
+def check_resume_roundtrip(program: RoundProgram, options: dict, prefix_fraction: float, context=""):
+    """Checkpoint every checkpointable engine at a drawn round prefix, resume
+    on *every* checkpointable engine (cross-engine pairs included), and hold
+    the resumed results to the cold run bit for bit."""
+    every = range(program.max_rounds + 1)
+    cold = {}
+    runs = {}
+    for name in ("reference",) + CANDIDATES:
+        engine = get_engine(name)
+        if not supports_checkpointing(engine):
+            continue
+        runs[name] = engine.run_checkpointed(program, checkpoint_rounds=every, **options)
+        cold[name] = runs[name].result
+    for name, run in runs.items():
+        assert_results_identical(cold["reference"], run.result, (context, name, options))
+        if not run.checkpoints:
+            continue
+        state = run.checkpoints[
+            min(int(prefix_fraction * len(run.checkpoints)), len(run.checkpoints) - 1)
+        ]
+        # ``initial`` describes round 0; the resumed run starts from the
+        # state's knowledge instead, and the two are mutually exclusive.
+        resume_options = {k: v for k, v in options.items() if k != "initial"}
+        for other in runs:
+            resumed = get_engine(other).resume(state, program, **resume_options)
+            assert_results_identical(
+                cold["reference"], resumed, (context, name, "->", other, state.round, options)
+            )
+
+
+@FUZZ
+@given(case=directed_programs(), prefix_fraction=st.floats(0.0, 1.0))
+def test_directed_fuzz_resume_roundtrip(case, prefix_fraction):
+    """Checkpoint/resume at a drawn prefix of arbitrary directed programs."""
+    program, options = case
+    check_resume_roundtrip(program, options, prefix_fraction, "directed-resume")
+
+
+@FUZZ
+@given(case=duplex_programs(), prefix_fraction=st.floats(0.0, 1.0))
+def test_duplex_fuzz_resume_roundtrip(case, prefix_fraction):
+    """Checkpoint/resume at a drawn prefix of random duplex matchings."""
+    program, options = case
+    check_resume_roundtrip(program, options, prefix_fraction, "duplex-resume")
 
 
 @FUZZ
