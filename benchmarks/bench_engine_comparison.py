@@ -320,3 +320,159 @@ def test_hybrid_plain_crossover_report(report_sink):
         f"hybrid engine is only {grid_margin:.2f}x faster than frontier on the "
         f"plain 16x256 grid (required: {HYBRID_OVER_FRONTIER_GRID_FLOOR}x)"
     )
+
+
+#: How much slower than the best explicitly-named backend ``"auto"`` may be
+#: on any tracked-arrivals table row.  Auto resolves to one of the named
+#: candidates, so the ratio is pure dispatch overhead plus timing noise.
+AUTO_SELECTION_CEILING = 1.1
+
+#: Named candidates the auto pick competes against on tracked workloads.
+AUTO_CANDIDATES = ("vectorized", "frontier", "hybrid")
+
+
+def test_auto_selection_report(report_sink):
+    """Workload-aware ``"auto"`` vs. every named backend, tracked arrivals.
+
+    For each tracked-instance table row, runs all named candidates and the
+    program-aware auto resolution.  Asserts the resolved pick is a concrete
+    registered backend, its results are bit-identical to the named runs,
+    and its measured time lands within ``AUTO_SELECTION_CEILING`` of the
+    best named backend — i.e. the decision function reproduces the
+    crossover table it was coded from.  Auto resolves to a *registered*
+    engine, so its time is the resolved candidate's own measurement; a
+    noisy loser is re-timed (minimum-of-runs) before the row can fail,
+    because single-shot timings on shared runners swing far more than the
+    margin under test.
+    """
+    from repro.gossip.engines import available_engines, get_engine, resolve_engine
+
+    rows = []
+    for label, build, _, _ in TRACKED_INSTANCES:
+        schedule = coloring_systolic_schedule(build(), Mode.HALF_DUPLEX)
+        program = RoundProgram.from_schedule(schedule)
+
+        named: dict[str, float] = {}
+        baseline = None
+        for candidate in AUTO_CANDIDATES:
+            seconds, result = _timed_run(candidate, program, track_arrivals=True)
+            named[candidate] = seconds
+            assert result.engine_name == candidate
+            if baseline is None:
+                baseline = result
+            else:
+                assert result.completion_round == baseline.completion_round
+                assert result.arrival_rounds == baseline.arrival_rounds
+
+        resolved = resolve_engine("auto", program, track_arrivals=True)
+        assert resolved.name in available_engines()
+        assert resolved.name != "auto"
+        # The resolved pick IS one of the registered named candidates (same
+        # instance), so its measurement doubles as auto's.
+        assert resolved is get_engine(resolved.name)
+        assert resolved.name in named
+
+        def ratio_now():
+            best = min(named, key=named.get)
+            return best, named[resolved.name] / named[best]
+
+        best, ratio = ratio_now()
+        for _ in range(2):
+            if ratio <= AUTO_SELECTION_CEILING:
+                break
+            # Noise check: re-time the pick and the current best, keep minima.
+            for candidate in {resolved.name, best}:
+                seconds, _ = _timed_run(candidate, program, track_arrivals=True)
+                named[candidate] = min(named[candidate], seconds)
+            best, ratio = ratio_now()
+        rows.append(
+            {
+                "instance": label,
+                "auto_engine": resolved.name,
+                "best_named": best,
+                "auto_s": named[resolved.name],
+                "best_named_s": named[best],
+                "auto_over_best": ratio,
+                **{f"{name}_s": named[name] for name in AUTO_CANDIDATES},
+            }
+        )
+
+    report_sink(
+        "ENGINES: workload-aware auto selection vs. named backends (tracked arrivals)",
+        format_table(
+            rows,
+            [
+                "instance",
+                "auto_engine",
+                "best_named",
+                "auto_s",
+                "best_named_s",
+                "auto_over_best",
+            ],
+        ),
+    )
+    _maybe_dump_json("auto_selection", rows)
+    for row in rows:
+        assert row["auto_over_best"] <= AUTO_SELECTION_CEILING, (
+            f"auto pick ({row['auto_engine']}) is {row['auto_over_best']:.2f}x the "
+            f"best named backend ({row['best_named']}) on tracked "
+            f"{row['instance']} (allowed: {AUTO_SELECTION_CEILING}x)"
+        )
+
+
+def test_frontier_presplit_speedup_report(report_sink):
+    """Pre-split pending windows vs. the legacy ring rescan.
+
+    Tracked full-duplex cycle gossip is the frontier engine's sweet spot
+    and the workload where eliminating the per-slot window rescan pays most
+    (every vertex is a tail of every slot, so the pre-split path skips the
+    filter entirely on both ends; measured ≈1.16× locally).  Asserts the
+    default pre-split path is no slower than the rescan it replaced, and
+    that both produce bit-identical tracked results.
+    """
+    from repro.gossip.engines.frontier import FrontierEngine
+
+    graph = cycle_graph(4096)
+    schedule = coloring_systolic_schedule(graph, Mode.FULL_DUPLEX)
+    program = RoundProgram.from_schedule(schedule)
+
+    def timed(engine):
+        start = time.perf_counter()
+        result = engine.run(program, track_history=False, track_arrivals=True)
+        return time.perf_counter() - start, result
+
+    presplit_engine = FrontierEngine(presplit_windows=True)
+    rescan_engine = FrontierEngine(presplit_windows=False)
+    # Best-of-two per variant damps allocator/cache warm-up noise.
+    presplit_seconds, presplit = min(
+        timed(presplit_engine), timed(presplit_engine), key=lambda t: t[0]
+    )
+    rescan_seconds, rescan = min(
+        timed(rescan_engine), timed(rescan_engine), key=lambda t: t[0]
+    )
+
+    assert presplit.completion_round == rescan.completion_round
+    assert presplit.arrival_rounds == rescan.arrival_rounds
+    assert presplit.knowledge == rescan.knowledge
+
+    speedup = rescan_seconds / presplit_seconds
+    rows = [
+        {
+            "instance": "C(4096) full-duplex coloring, tracked arrivals",
+            "gossip_rounds": presplit.completion_round,
+            "presplit_s": presplit_seconds,
+            "rescan_s": rescan_seconds,
+            "speedup": speedup,
+        }
+    ]
+    report_sink(
+        "ENGINES: frontier pre-split windows vs. legacy ring rescan",
+        format_table(
+            rows, ["instance", "gossip_rounds", "presplit_s", "rescan_s", "speedup"]
+        ),
+    )
+    _maybe_dump_json("frontier_presplit", rows)
+    assert speedup >= 1.0, (
+        f"pre-split frontier windows are {1 / speedup:.2f}x slower than the "
+        f"ring rescan on tracked full-duplex C(4096)"
+    )

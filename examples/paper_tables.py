@@ -66,7 +66,8 @@ def main() -> None:
             format_table(
                 sandwich_table(),
                 ["graph", "n", "mode", "period", "certified_lower_bound",
-                 "analytic_lower_bound", "measured_gossip_time", "consistent"],
+                 "analytic_lower_bound", "measured_gossip_time", "consistent",
+                 "engine"],
             )
         )
 

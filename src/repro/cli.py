@@ -352,6 +352,8 @@ def _run_robustness(args: argparse.Namespace) -> int:
         reachability_degradation,
         worst_case_gossip_time,
     )
+    from repro.gossip.engines import resolve_engine
+    from repro.gossip.engines.base import RoundProgram
     from repro.gossip.simulation import gossip_time
     from repro.search import edge_coloring_seed
 
@@ -359,8 +361,13 @@ def _run_robustness(args: argparse.Namespace) -> int:
     schedule = edge_coloring_seed(graph, mode)
 
     if args.model == "adversarial":
-        nominal = gossip_time(schedule, engine=args.engine)
-        report = worst_case_gossip_time(schedule, args.k, engine=args.engine)
+        # Resolve once against the nominal program so the table reports the
+        # backend that actually ran instead of echoing a raw "auto".
+        resolved = resolve_engine(
+            args.engine, RoundProgram.from_schedule(schedule)
+        )
+        nominal = gossip_time(schedule, engine=resolved)
+        report = worst_case_gossip_time(schedule, args.k, engine=resolved)
         print(
             format_table(
                 [
@@ -373,6 +380,7 @@ def _run_robustness(args: argparse.Namespace) -> int:
                         "worst_case": report.rounds,
                         "exact": report.exact,
                         "evaluations": report.evaluations,
+                        "engine": resolved.name,
                     }
                 ]
             )
@@ -509,6 +517,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "analytic_lower_bound",
                     "measured_gossip_time",
                     "consistent",
+                    "engine",
                 ],
             )
         )

@@ -69,12 +69,19 @@ def broadcast_sweep_table(
 ) -> list[BroadcastSweepRow]:
     """Broadcast statistics for every instance and both duplex modes."""
     from repro.gossip.engines import resolve_engine
+    from repro.gossip.engines.base import RoundProgram
 
-    resolved = resolve_engine(engine)
     rows: list[BroadcastSweepRow] = []
     for graph in instances if instances is not None else sweep_instances():
         for mode in (Mode.HALF_DUPLEX, Mode.FULL_DUPLEX):
             schedule = coloring_systolic_schedule(graph, mode)
+            # Per-instance resolution: the sweep's dominant cost is the
+            # per-item-tracked run, so let auto pick for that workload.
+            resolved = resolve_engine(
+                engine,
+                RoundProgram.from_schedule(schedule),
+                track_item_completion=True,
+            )
             times = broadcast_times_all(schedule, engine=resolved)
             values = sorted(times.values())
             rows.append(

@@ -130,11 +130,13 @@ def robustness_table(
     from repro.gossip.engines import resolve_engine
     from repro.gossip.engines.base import RoundProgram
 
-    resolved = resolve_engine(engine)
     mode = Mode.HALF_DUPLEX
     rows: list[RobustnessRow] = []
     for graph in instances if instances is not None else robustness_instances():
         baseline = edge_coloring_seed(graph, mode)
+        # Per-instance resolution against the baseline program, so the row
+        # reports (and every evaluation uses) the backend auto actually picks.
+        resolved = resolve_engine(engine, RoundProgram.from_schedule(baseline))
         baseline_value = evaluate_schedule(baseline, engine=resolved)
         assert baseline_value.rounds is not None  # colourings always complete
         worst = AdversarialArcFaults(1, engine=resolved)

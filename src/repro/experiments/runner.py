@@ -216,6 +216,7 @@ def run_all(*, include_sandwich: bool = True, engine: str = "auto") -> str:
                     "analytic_lower_bound",
                     "measured_gossip_time",
                     "consistent",
+                    "engine",
                 ],
             )
         )

@@ -22,6 +22,8 @@ from repro.core.certificates import certify_protocol
 from repro.core.full_duplex import full_duplex_general_bound
 from repro.core.general_bound import general_lower_bound
 from repro.exceptions import BoundComputationError
+from repro.gossip.engines import resolve_engine
+from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Mode, SystolicSchedule
 from repro.gossip.simulation import gossip_time
 from repro.protocols.complete import complete_graph_schedule
@@ -54,6 +56,7 @@ class SandwichRow:
     measured_gossip_time: int
     norm_at_lambda: float | None
     lam: float | None
+    engine: str
 
     @property
     def consistent(self) -> bool:
@@ -118,7 +121,10 @@ def sandwich_row(
         certified, norm, lam = certificate.certified_rounds, certificate.norm, certificate.lam
     except BoundComputationError:
         certified, norm, lam = diameter(schedule.graph), None, None
-    measured = gossip_time(schedule, engine=engine)
+    # Resolve against the schedule's own program so the row records the
+    # backend that actually ran (never a literal "auto").
+    resolved = resolve_engine(engine, RoundProgram.from_schedule(schedule))
+    measured = gossip_time(schedule, engine=resolved)
     coefficient, analytic = _analytic_bound(schedule.mode, schedule.period, schedule.graph.n)
     return SandwichRow(
         name=schedule.name,
@@ -132,6 +138,7 @@ def sandwich_row(
         measured_gossip_time=measured,
         norm_at_lambda=norm,
         lam=lam,
+        engine=resolved.name,
     )
 
 

@@ -111,15 +111,20 @@ def search_gaps_table(
     instances: list[tuple[Digraph, tuple[float, float] | None]] | None = None,
 ) -> list[SearchGapRow]:
     """Synthesize-and-certify every instance in both duplex modes."""
-    from repro.gossip.engines import resolve_engine
+    from repro.search.objective import resolve_objective_engine
 
-    resolved = resolve_engine(engine)
     rows: list[SearchGapRow] = []
     for graph, separator in (
         instances if instances is not None else search_gap_instances()
     ):
         for mode in (Mode.HALF_DUPLEX, Mode.FULL_DUPLEX):
-            baseline = evaluate_schedule(edge_coloring_seed(graph, mode), engine=resolved)
+            seed_schedule = edge_coloring_seed(graph, mode)
+            # One workload-aware resolution per (instance, mode), keyed off
+            # the baseline seed, so every candidate scores on one backend.
+            resolved = resolve_objective_engine(
+                engine, graph, tuple(seed_schedule.base_rounds)
+            )
+            baseline = evaluate_schedule(seed_schedule, engine=resolved)
             result = synthesize_schedule(
                 graph,
                 mode,

@@ -51,7 +51,12 @@ except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
 
 from repro.exceptions import SimulationError
 from repro.faults.models import FaultModel, FaultSample
-from repro.gossip.engines import SimulationEngine, resolve_engine
+from repro.gossip.engines import (
+    SimulationEngine,
+    engine_override,
+    is_auto_spec,
+    resolve_engine,
+)
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.engines._bitops import (
     BIT_LUT as _BIT_LUT,
@@ -143,19 +148,22 @@ def monte_carlo(
     exceeds the protocol's own length.
 
     ``method="auto"`` takes the batched tensor kernel whenever NumPy is
-    available and no specific engine was requested; naming an ``engine``
-    (or ``method="looped"``) runs the per-trial loop through that backend
-    instead.  Both paths consume the same seeded fault realisation, so the
-    choice never changes the results, only the throughput.
+    available and no specific engine was requested.  "No specific engine"
+    means ``engine`` is ``None`` or ``"auto"`` (case-insensitively) *and*
+    the ``REPRO_SIM_ENGINE`` override is unset — a pinned environment, like
+    a named ``engine`` or ``method="looped"``, runs the per-trial loop
+    through that backend instead.  Both paths consume the same seeded
+    fault realisation, so the choice never changes the results, only the
+    throughput.
     """
     if method not in METHODS:
         raise SimulationError(f"unknown method {method!r}; expected one of {METHODS}")
     program = _program_for(protocol_or_schedule, None)
-    explicit_engine = not (engine is None or engine == "auto")
+    explicit_engine = not is_auto_spec(engine) or engine_override() is not None
 
     nominal: int | None = None
     if max_rounds is None:
-        nominal_result = resolve_engine(engine).run(program, track_history=False)
+        nominal_result = resolve_engine(engine, program).run(program, track_history=False)
         nominal = nominal_result.completion_round
         if nominal is None:
             raise SimulationError(
@@ -178,7 +186,11 @@ def monte_carlo(
         completion, knowledge = _run_batched(program, sample)
         engine_name = "montecarlo-batched"
     else:
-        resolved = resolve_engine(engine)
+        # Trials are finite perturbed programs, which the decision function
+        # sends to the dense kernel; resolve with that workload shape.
+        resolved = resolve_engine(
+            engine, RoundProgram(program.graph, program.rounds, cyclic=False, max_rounds=horizon)
+        )
         completion, knowledge = _run_looped(program, sample, resolved)
         engine_name = resolved.name
 

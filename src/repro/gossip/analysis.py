@@ -117,7 +117,13 @@ def _tracked_run(
     from repro.gossip.simulation import _program_for
 
     program = _program_for(protocol_or_schedule, max_rounds)
-    return program, resolve_engine(engine).run(program, track_history=False, **track)
+    resolved = resolve_engine(
+        engine,
+        program,
+        track_item_completion=track.get("track_item_completion", False),
+        track_arrivals=track.get("track_arrivals", False),
+    )
+    return program, resolved.run(program, track_history=False, **track)
 
 
 def arrival_times(

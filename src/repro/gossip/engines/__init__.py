@@ -22,44 +22,41 @@ Selection
 ---------
 Every simulation entry point (:func:`repro.gossip.simulation.simulate` and
 friends) takes an ``engine`` keyword: an engine *name*, an engine
-*instance*, or ``"auto"`` (the default).  The choice is recorded on
+*instance*, or ``"auto"`` (the default).  Names are matched
+case-insensitively.  The choice is recorded on
 ``SimulationResult.engine_name`` so a fallback can never go unnoticed.
 The ``REPRO_SIM_ENGINE`` environment
 variable overrides ``"auto"`` globally (explicitly named engines win over
 the environment), which lets benchmarks and CI pin a backend without
 threading a flag through every call site.
 
-``"auto"`` heuristics: automatic selection happens *before* the engine
-sees the program (``resolve_engine`` has no program argument), so it picks
-the backend with the best worst-case profile — the vectorized kernel,
-whose dense gather/scatter is never pathological.  Pick explicitly when
-the workload shape is known:
+``"auto"`` heuristics: selection is *workload-aware*.  Entry points pass
+the compiled :class:`RoundProgram` and the tracking flags to
+:func:`resolve_engine`, and a coded decision function
+(:func:`select_engine_name`) reproduces the measured crossover table in
+ROADMAP.md from cheap statistics — ``n``, the packed matrix size, the mean
+arc degree, cyclicity:
 
-* **vectorized** — the safe default; best on dense topologies (complete
-  graphs, hypercubes, expanders) and on finite/aperiodic protocols, where
-  per-round frontiers are thick and dense bit-parallel ORs win.
-* **frontier** — best on *periodic* (systolic) schedules over sparse
-  bounded-degree topologies (cycles, paths, grids, trees) at large ``n``,
-  where per round only a thin frontier is new: total work is
-  O(period · n²) pair operations versus the dense kernel's
-  O(rounds · n²/64) words, which crosses over once the gossip time grows
-  with ``n`` (n ≳ 2048 on cycles).  Maintains arrival matrices
-  (``track_arrivals``) incrementally.
-* **hybrid** — the active-word middle ground: word-granular windows over
-  the packed dense matrix (item bits internally permuted into BFS order so
-  knowledge balls stay word-contiguous), so one routed element carries up
-  to 64 items of news and every tracked analysis stays incremental.  On
-  *tracked* workloads it beats ``vectorized`` across the board (measured
-  2–4× at n = 4096 on cycles, paths and elongated grids) and even edges
-  out ``frontier`` when news is word-thick (elongated grids); on *plain*
-  (untracked) periodic completion runs it overtakes the vectorized kernel
-  once the dense matrix outgrows cache — from n ≈ 4096 on paths, n ≈ 8192
-  on cycles and elongated grids — while staying within ~2× below the
-  crossover.  Prefer ``frontier`` when item-level events dominate (thin
-  single-item runs, very sparse news); on dense topologies or finite
-  protocols the per-firing windows are thick and ``vectorized`` still
-  wins.
-* **reference** — differential oracle and tiny instances; never fast.
+* *finite (aperiodic) programs* → **vectorized**: every sparse-path firing
+  would be a first firing, so frontier/active-word windows never pay off.
+* *tracked cyclic runs* (``track_arrivals`` or ``track_item_completion``)
+  → the dense kernel always loses (its per-round rescans cost 3–13× at
+  n = 4096): **frontier** when news is item-thin (mean arc degree ≤ 3 —
+  cycles, paths, trees), **hybrid** when word-thick (grids and denser).
+* *plain cyclic runs* → **vectorized** while the packed matrix is
+  cache-resident (≤ 4 MiB, i.e. n ≲ 4–6k), **hybrid** past the cache
+  crossover (measured from n ≈ 4096 on paths, n ≈ 8192 on cycles and
+  elongated grids).
+* no NumPy → **reference** (also the differential oracle; never fast).
+
+Callers that resolve without a program (``resolve_engine()`` bare) keep
+the historical pick — the vectorized kernel, whose dense gather/scatter
+is never pathological.  Explicit names and ``REPRO_SIM_ENGINE`` always
+win over the decision function, and the resolved backend — never the
+literal ``"auto"`` — is what lands in ``engine_name``, so a misprediction
+is visible in every result.  Dispatch can only change speed, never
+results: the registry-parametrized differential and fuzz suites certify
+all backends bit-identical.
 
 Batched Monte-Carlo vs looped single runs
 -----------------------------------------
@@ -136,6 +133,7 @@ from repro.gossip.engines.checkpoint import (
 )
 from repro.gossip.engines.frontier import FrontierEngine
 from repro.gossip.engines.hybrid import HybridEngine
+from repro.gossip.engines.layout import mean_arc_degree, packed_matrix_bytes
 from repro.gossip.engines.reference import ReferenceEngine
 from repro.gossip.engines.vectorized import VectorizedEngine, numpy_available
 
@@ -157,6 +155,9 @@ __all__ = [
     "register_engine",
     "get_engine",
     "available_engines",
+    "engine_override",
+    "is_auto_spec",
+    "select_engine_name",
     "resolve_engine",
 ]
 
@@ -189,15 +190,99 @@ def available_engines() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_engine(name: str) -> SimulationEngine:
-    """Look up a registered engine by name."""
+def get_engine(name: str, *, source: str | None = None) -> SimulationEngine:
+    """Look up a registered engine by name (case-insensitive).
+
+    ``source`` names where a bad spelling came from (e.g. the
+    ``REPRO_SIM_ENGINE`` environment variable) so the error identifies the
+    knob to fix, not just the value.
+    """
+    normalized = name.strip().casefold()
     try:
-        return _REGISTRY[name]
+        return _REGISTRY[normalized]
     except KeyError:
+        origin = f" (from {source})" if source else ""
         raise SimulationError(
-            f"unknown simulation engine {name!r}; available: "
+            f"unknown simulation engine {name!r}{origin}; available: "
             f"{', '.join(available_engines()) or '(none)'}"
         ) from None
+
+
+def engine_override() -> str | None:
+    """The ``REPRO_SIM_ENGINE`` value in effect, or ``None`` when unset.
+
+    A non-empty override is a *specific engine request* — it beats the
+    automatic decision function everywhere ``"auto"`` would apply (the
+    batched Monte-Carlo dispatch honours this too).
+    """
+    return os.environ.get(ENGINE_ENV_VAR, "").strip() or None
+
+
+def is_auto_spec(spec: str | SimulationEngine | None) -> bool:
+    """Does ``spec`` ask for automatic selection (``None`` or ``"auto"``,
+    case-insensitively)?"""
+    return spec is None or (
+        isinstance(spec, str) and spec.strip().casefold() == AUTO_ENGINE
+    )
+
+
+#: Tracked-workload crossover: at or below this mean arc degree each
+#: round's news stays item-thin and the frontier engine's per-pair routing
+#: wins (cycles and paths are 2.0); above it knowledge words are shared by
+#: enough items that the hybrid active-word windows win (a 16×256 grid is
+#: ≈ 3.87).  From the measured table in ROADMAP.md.
+_TRACKED_DEGREE_CROSSOVER = 3.0
+
+#: Plain-run cache crossover: once the packed ``(n, W)`` matrix outgrows
+#: this many bytes the dense kernel's full re-streams turn DRAM-bound and
+#: the hybrid engine overtakes it.  4 MiB puts the flip between the
+#: measured n = 4096 (2 MiB, vectorized wins cycles/grids) and n = 8192
+#: (8 MiB, hybrid wins everywhere).
+_PLAIN_CACHE_CROSSOVER_BYTES = 4 << 20
+
+
+def select_engine_name(
+    program: RoundProgram,
+    *,
+    track_history: bool = False,
+    track_item_completion: bool = False,
+    track_arrivals: bool = False,
+) -> str:
+    """The coded decision function behind workload-aware ``"auto"``.
+
+    Reproduces the measured crossover table (ROADMAP.md) from statistics
+    that cost O(1) to read: whether the program is cyclic, the packed
+    matrix footprint, and the mean arc degree.  Returns a registered
+    engine *name* — callers wanting an instance go through
+    :func:`resolve_engine`, which also applies the env override.
+
+    ``track_history`` does not influence the pick today (coverage history
+    is maintained incrementally by every candidate backend); it is
+    accepted so call sites can forward their full tracking signature and
+    future refinements need no threading changes.
+    """
+    if not numpy_available() or VectorizedEngine.name not in _REGISTRY:
+        return ReferenceEngine.name
+    if not program.cyclic:
+        # Finite programs never reuse a round slot, so the sparse engines'
+        # windows never pay off: every firing would take the dense path
+        # anyway, with extra bookkeeping on top.
+        return VectorizedEngine.name
+    if track_item_completion or track_arrivals:
+        if (
+            mean_arc_degree(program.graph) <= _TRACKED_DEGREE_CROSSOVER
+            and FrontierEngine.name in _REGISTRY
+        ):
+            return FrontierEngine.name
+        if HybridEngine.name in _REGISTRY:
+            return HybridEngine.name
+        return VectorizedEngine.name
+    if (
+        packed_matrix_bytes(program.graph.n) > _PLAIN_CACHE_CROSSOVER_BYTES
+        and HybridEngine.name in _REGISTRY
+    ):
+        return HybridEngine.name
+    return VectorizedEngine.name
 
 
 def _auto_engine() -> SimulationEngine:
@@ -206,25 +291,44 @@ def _auto_engine() -> SimulationEngine:
     return _REGISTRY[ReferenceEngine.name]
 
 
-def resolve_engine(spec: str | SimulationEngine | None = None) -> SimulationEngine:
+def resolve_engine(
+    spec: str | SimulationEngine | None = None,
+    program: RoundProgram | None = None,
+    *,
+    track_history: bool = False,
+    track_item_completion: bool = False,
+    track_arrivals: bool = False,
+) -> SimulationEngine:
     """Resolve an ``engine=`` argument to a concrete engine instance.
 
     ``None`` and ``"auto"`` consult the ``REPRO_SIM_ENGINE`` environment
-    variable first and then fall back to automatic selection.  An unknown
-    name — from the argument or the environment — raises
-    :class:`~repro.exceptions.SimulationError` rather than silently running
-    a different backend.
+    variable first and then fall back to automatic selection: when the
+    caller supplies the ``program`` it is about to run (plus its tracking
+    flags), selection is workload-aware (:func:`select_engine_name`);
+    without a program it keeps the historical program-blind pick (the
+    vectorized kernel when NumPy is available).  Explicit names — matched
+    case-insensitively — always win over both.  An unknown name raises
+    :class:`~repro.exceptions.SimulationError` naming the environment
+    variable when that is where the bad name came from, rather than
+    silently running a different backend.
     """
     if spec is not None and not isinstance(spec, str):
         return spec
-    name = spec if spec is not None else AUTO_ENGINE
-    if name == AUTO_ENGINE:
-        override = os.environ.get(ENGINE_ENV_VAR, "").strip()
-        if override:
-            name = override
-    if name == AUTO_ENGINE:
-        return _auto_engine()
-    return get_engine(name)
+    if not is_auto_spec(spec):
+        return get_engine(spec)
+    override = engine_override()
+    if override is not None:
+        return get_engine(override, source=f"the {ENGINE_ENV_VAR} environment variable")
+    if program is not None:
+        return _REGISTRY[
+            select_engine_name(
+                program,
+                track_history=track_history,
+                track_item_completion=track_item_completion,
+                track_arrivals=track_arrivals,
+            )
+        ]
+    return _auto_engine()
 
 
 register_engine(ReferenceEngine())

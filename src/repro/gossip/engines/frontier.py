@@ -38,6 +38,24 @@ knowledge array), and scatter-OR the survivors.  Each ``(vertex, item)``
 pair is learned once and scanned at most ``s`` times, so total work is
 O(s · n²) pair operations regardless of how many rounds the schedule needs.
 
+Pre-split pending windows
+-------------------------
+By default the window a slot consumes is not reassembled from a ring of the
+last ``s`` delta chunks and then re-filtered by the slot's tail test — that
+rescan touches every window pair once per slot firing, and on schedules
+whose rounds activate disjoint tail sets (grids, colourings) most of those
+pairs are routed nowhere.  Instead each round's delta is split *at
+production time*: slots are grouped by identical tail masks (one boolean
+gather per distinct mask, not per slot; an all-``True`` mask skips the
+filter entirely), and the filtered chunk is appended to every member slot's
+pending list.  A firing slot concatenates and clears its own pending list —
+pairs already known to be its tails, so the sparse apply skips the keep
+filter (``prefiltered=True``).  Pending lists are consumed at *every*
+firing, including the dense first firings, whose full-knowledge
+transmission supersedes anything pending.  Constructing the engine with
+``presplit_windows=False`` restores the legacy ring-rescan path
+(bit-identical results; kept for differential tests and benchmarks).
+
 When a full period passes without any new pair the knowledge state is a
 fixed point (every future window is empty), so the engine stops early and
 synthesizes the remaining no-op rounds: ``rounds_executed``,
@@ -191,28 +209,38 @@ def _sparse_apply(
     window_v: np.ndarray,
     window_j: np.ndarray,
     bit_capacity: int,
+    prefiltered: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Frontier transmission for one slot, returning the delta pairs.
 
     ``window_v``/``window_j`` are the (vertex, item) pairs learned in the
     last ``s`` rounds; pairs are routed through the slot's arcs and only
-    bits the head does not already hold survive.
+    bits the head does not already hold survive.  ``prefiltered`` promises
+    every ``window_v`` entry is a tail of this slot (the pre-split pending
+    path), so the keep filter is skipped.
     """
     if slot.m == 0 or window_v.size == 0:
         return _empty_delta()
     if slot.single:
         h = slot.route[window_v]
-        keep = h >= 0
-        h = h[keep]
-        j = window_j[keep]
-        if h.size == 0:
-            return _empty_delta()
+        if prefiltered:
+            j = window_j
+        else:
+            keep = h >= 0
+            h = h[keep]
+            j = window_j[keep]
+            if h.size == 0:
+                return _empty_delta()
     else:
-        keep = slot.is_tail[window_v]
-        v = window_v[keep]
-        if v.size == 0:
-            return _empty_delta()
-        j = window_j[keep]
+        if prefiltered:
+            v = window_v
+            j = window_j
+        else:
+            keep = slot.is_tail[window_v]
+            v = window_v[keep]
+            if v.size == 0:
+                return _empty_delta()
+            j = window_j[keep]
         pos = np.searchsorted(slot.utails, v)
         counts = slot.t_counts[pos]
         starts = slot.t_starts[pos]
@@ -244,6 +272,33 @@ def _sparse_apply(
         miss_bit = bit[miss]
     np.bitwise_or.at(flat_knowledge, miss_idx, miss_bit)
     return h_new, j_new
+
+
+def _tail_filter_groups(slots, n):
+    """Group slot indices by identical tail masks for pre-split distribution.
+
+    Returns ``[(mask, members), ...]`` where ``mask`` is the boolean
+    is-a-tail vector shared by every slot index in ``members``, or ``None``
+    when that mask is all-``True`` (every produced pair is relevant — no
+    filter needed).  Grouping means each round's delta pays one boolean
+    gather per *distinct* mask instead of one per slot.
+    """
+    groups: list[tuple[np.ndarray | None, list[int]]] = []
+    by_key: dict[bytes, int] = {}
+    for k, slot in enumerate(slots):
+        if slot.m == 0:
+            mask = np.zeros(n, dtype=bool)
+        elif slot.single:
+            mask = slot.route >= 0
+        else:
+            mask = slot.is_tail
+        key = mask.tobytes()
+        gi = by_key.get(key)
+        if gi is None:
+            gi = by_key[key] = len(groups)
+            groups.append((None if mask.all() else mask, []))
+        groups[gi][1].append(k)
+    return groups
 
 
 #: Compiled-slot caches are cleared past this size so a long search walk
@@ -286,6 +341,12 @@ class FrontierEngine(CheckpointingMixin):
     """
 
     name = "frontier"
+
+    def __init__(self, *, presplit_windows: bool = True) -> None:
+        #: Distribute each round's delta into per-slot pending lists at
+        #: production time (see the module docstring).  ``False`` keeps the
+        #: legacy ring-of-deltas window rescan; both paths are bit-exact.
+        self.presplit_windows = presplit_windows
 
     def run(
         self,
@@ -447,35 +508,66 @@ class FrontierEngine(CheckpointingMixin):
 
         executed = base
         if completion is None:
-            # Ring of the last s per-round delta chunks: the window a cyclic
-            # slot must offer at its next firing.  After a resume the ring
-            # starts empty, so the first s post-resume rounds take the dense
-            # path (see the module docstring's resume section).
+            # Window bookkeeping for cyclic programs — one of two layouts.
+            # Pre-split (default): per-slot pending lists filled at delta
+            # production time, consumed (and cleared) at every firing.
+            # Legacy: a ring of the last s per-round delta chunks the firing
+            # slot re-filters.  After a resume both start empty, so the
+            # first s post-resume rounds take the dense path (see the module
+            # docstring's resume section).
+            presplit = self.presplit_windows and cyclic and s > 0
             ring: deque[tuple[np.ndarray, np.ndarray]] | None = (
-                deque(maxlen=s) if cyclic else None
+                deque(maxlen=s) if cyclic and not presplit else None
             )
+            if presplit:
+                filter_groups = _tail_filter_groups(slots, n)
+                pending_v: list[list[np.ndarray]] = [[] for _ in range(s)]
+                pending_j: list[list[np.ndarray]] = [[] for _ in range(s)]
             idle = 0
             for i in range(base + 1, program.max_rounds + 1):
                 if s == 0:
                     h_new, j_new = _empty_delta()
                 elif cyclic and i > base + s:
-                    parts = [c for c in ring if c[0].size]
-                    if len(parts) == 1:
-                        window_v, window_j = parts[0]
-                    elif parts:
-                        window_v = np.concatenate([c[0] for c in parts])
-                        window_j = np.concatenate([c[1] for c in parts])
+                    k = (i - 1) % s
+                    if presplit:
+                        parts_v = pending_v[k]
+                        if len(parts_v) == 1:
+                            window_v, window_j = parts_v[0], pending_j[k][0]
+                        elif parts_v:
+                            window_v = np.concatenate(parts_v)
+                            window_j = np.concatenate(pending_j[k])
+                        else:
+                            window_v, window_j = _empty_delta()
+                        pending_v[k] = []
+                        pending_j[k] = []
+                        h_new, j_new = _sparse_apply(
+                            flat_knowledge, words, slots[k],
+                            window_v, window_j, bit_capacity,
+                            prefiltered=True,
+                        )
                     else:
-                        window_v, window_j = _empty_delta()
-                    h_new, j_new = _sparse_apply(
-                        flat_knowledge, words, slots[(i - 1) % s],
-                        window_v, window_j, bit_capacity,
-                    )
+                        parts = [c for c in ring if c[0].size]
+                        if len(parts) == 1:
+                            window_v, window_j = parts[0]
+                        elif parts:
+                            window_v = np.concatenate([c[0] for c in parts])
+                            window_j = np.concatenate([c[1] for c in parts])
+                        else:
+                            window_v, window_j = _empty_delta()
+                        h_new, j_new = _sparse_apply(
+                            flat_knowledge, words, slots[k],
+                            window_v, window_j, bit_capacity,
+                        )
                 else:
                     # First firing of this slot (or a finite program, where
                     # every firing is the first): no previous delivery to
-                    # build on, transmit full knowledge.
+                    # build on, transmit full knowledge.  The full matrix
+                    # supersedes anything pending for the slot — consume it.
                     slot = slots[(i - 1) % s] if cyclic else slots[i - 1]
+                    if presplit:
+                        k = (i - 1) % s
+                        pending_v[k] = []
+                        pending_j[k] = []
                     h_new, j_new = _dense_apply(knowledge, slot)
                 executed = i
 
@@ -505,7 +597,25 @@ class FrontierEngine(CheckpointingMixin):
                 else:
                     idle += 1
 
-                if ring is not None:
+                if presplit:
+                    if fresh:
+                        # Split this round's delta by destination slot now, so
+                        # firings never rescan pairs routed nowhere.  One
+                        # boolean gather per distinct tail mask; chunks are
+                        # shared by reference across a group's members.
+                        for mask, members in filter_groups:
+                            if mask is None:
+                                fv, fj = h_new, j_new
+                            else:
+                                keep = mask[h_new]
+                                fv = h_new[keep]
+                                if fv.size == 0:
+                                    continue
+                                fj = j_new[keep]
+                            for k in members:
+                                pending_v[k].append(fv)
+                                pending_j[k].append(fj)
+                elif ring is not None:
                     ring.append((h_new, j_new))
                 if track_history:
                     history.append(coverage)

@@ -131,7 +131,6 @@ accepts the same caller-owned ``slot_cache`` dict as the frontier engine
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import replace as _replace
 from functools import reduce
 from operator import or_
@@ -167,6 +166,10 @@ from repro.gossip.engines.checkpoint import (
     check_resume_state,
     encode_arrivals,
     normalize_checkpoint_rounds,
+)
+from repro.gossip.engines.layout import (
+    bfs_item_positions as _bfs_item_positions,
+    gather_bit_columns as _gather_bit_columns,
 )
 from repro.topologies.base import Digraph
 
@@ -215,54 +218,6 @@ def _compile_slot(graph: Digraph, arcs, n: int) -> _Slot:
         slot.route = np.full(n, -1, dtype=np.int64)
         slot.route[tails] = heads
     return slot
-
-
-def _bfs_item_positions(graph: Digraph) -> np.ndarray | None:
-    """``pos[j]`` = BFS-order bit position of item ``j``, or ``None`` if BFS
-    order is the identity (nothing to permute).
-
-    Breadth-first over the *underlying undirected* structure (knowledge can
-    flow along an arc in either schedule direction across a period), seeded
-    from every component so disconnected graphs get a total order.
-    """
-    n = graph.n
-    adjacency: list[list[int]] = [[] for _ in range(n)]
-    index = graph.index
-    for tail, head in graph.arcs:
-        t, h = index(tail), index(head)
-        adjacency[t].append(h)
-        adjacency[h].append(t)
-    pos = np.empty(n, dtype=np.int64)
-    visited = bytearray(n)
-    counter = 0
-    identity = True
-    for root in range(n):
-        if visited[root]:
-            continue
-        visited[root] = 1
-        queue = deque((root,))
-        while queue:
-            v = queue.popleft()
-            if v != counter:
-                identity = False
-            pos[v] = counter
-            counter += 1
-            for w in adjacency[v]:
-                if not visited[w]:
-                    visited[w] = 1
-                    queue.append(w)
-    return None if identity else pos
-
-
-def _gather_bit_columns(rows: np.ndarray, colmap: np.ndarray) -> np.ndarray:
-    """Reorder the bit columns of packed ``rows``: output bit ``c`` is input
-    bit ``colmap[c]``.  ``np.take`` rather than fancy indexing — an order of
-    magnitude faster on the (n, n·W) unpacked bit matrix."""
-    bits = np.unpackbits(
-        np.ascontiguousarray(rows).view(np.uint8), axis=1, bitorder="little"
-    )
-    out = np.take(bits, colmap, axis=1)
-    return np.packbits(out, axis=1, bitorder="little").view(np.uint64)
 
 
 def _dedup_sorted(parts: list[np.ndarray]) -> np.ndarray:

@@ -78,6 +78,9 @@ from repro.gossip.engines._bitops import (
     unpack_rows as _unpack_rows,
     unpack_words as _unpack_words,
 )
+from repro.gossip.engines.layout import (
+    row_locality_permutation as _row_permutation,
+)
 from repro.gossip.model import Round
 from repro.topologies.base import Digraph
 
@@ -134,31 +137,6 @@ def _ap_segments(
             tail_part = tails[first_arc : last_arc + 1].copy()
         segments.append((tail_part, head_slice))
     return segments
-
-
-def _row_permutation(graph: Digraph, rounds: tuple[Round, ...]) -> tuple[np.ndarray, np.ndarray]:
-    """Internal row order making the first round's receivers contiguous.
-
-    The engine is free to store vertex rows in any order (item *columns* are
-    untouched, so masks, popcounts and per-item tracking are unaffected).
-    Grouping the non-heads of the first non-empty round before its heads
-    turns the matching rounds of cycle/path-like colourings into operations
-    on two contiguous row blocks, which run at streaming memory bandwidth
-    instead of paying a ~5× strided-access penalty.
-
-    Returns ``(new_to_old, old_to_new)`` index arrays.
-    """
-    n = graph.n
-    is_head = np.zeros(n, dtype=bool)
-    for arcs in rounds:
-        if arcs:
-            for _, h in arcs:
-                is_head[graph.index(h)] = True
-            break
-    new_to_old = np.argsort(is_head, kind="stable")  # non-heads first, both in index order
-    old_to_new = np.empty(n, dtype=np.int64)
-    old_to_new[new_to_old] = np.arange(n, dtype=np.int64)
-    return new_to_old, old_to_new
 
 
 def _compile_round(

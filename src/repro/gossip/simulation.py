@@ -22,11 +22,13 @@ The actual execution is delegated to a *simulation engine* selected by the
 * ``"frontier"`` — a sparse engine that transmits only the newly-learned
   (vertex, item) pairs of each round; the fastest backend for periodic
   schedules on sparse topologies (cycles, paths, grids, trees) at large n.
-* ``"auto"`` (default) — the backend with the best worst-case profile whose
-  dependencies are available (today: the vectorized engine, since NumPy is
-  a hard dependency of this library); overridable globally via the
-  ``REPRO_SIM_ENGINE`` environment variable.  See
-  :mod:`repro.gossip.engines` for per-workload selection heuristics.
+* ``"auto"`` (default) — workload-aware selection: every function here
+  hands the compiled program and its tracking flags to
+  :func:`repro.gossip.engines.resolve_engine`, whose decision function
+  picks per workload (dense kernel on cache-resident plain runs, sparse
+  frontier/active-word backends on tracked or cache-spilling runs);
+  overridable globally via the ``REPRO_SIM_ENGINE`` environment variable.
+  See :mod:`repro.gossip.engines` for the decision function.
 
 All backends return bit-for-bit identical results (enforced by
 ``tests/test_engines_differential.py`` and the randomized fuzz suite
@@ -64,8 +66,9 @@ def simulate(
     engine: str | SimulationEngine | None = "auto",
 ) -> SimulationResult:
     """Run an explicit protocol to its end (or until gossip completes earlier)."""
-    return resolve_engine(engine).run(
-        RoundProgram.from_protocol(protocol),
+    program = RoundProgram.from_protocol(protocol)
+    return resolve_engine(engine, program, track_history=track_history).run(
+        program,
         track_history=track_history,
     )
 
@@ -85,8 +88,9 @@ def simulate_systolic(
     activate some arc direction) are reported as incomplete rather than
     looping forever.
     """
-    return resolve_engine(engine).run(
-        RoundProgram.from_schedule(schedule, max_rounds),
+    program = RoundProgram.from_schedule(schedule, max_rounds)
+    return resolve_engine(engine, program, track_history=track_history).run(
+        program,
         track_history=track_history,
     )
 
@@ -114,7 +118,7 @@ def gossip_time(
     can rely on the returned value being a genuine completion time.
     """
     program = _program_for(protocol_or_schedule, max_rounds)
-    result = resolve_engine(engine).run(program, track_history=False)
+    result = resolve_engine(engine, program).run(program, track_history=False)
     if result.completion_round is None:
         raise SimulationError(
             f"gossip did not complete within {result.rounds_executed} rounds"
@@ -132,7 +136,7 @@ def broadcast_time(
     """Rounds needed for the item of ``source`` to reach every vertex."""
     program = _program_for(protocol_or_schedule, max_rounds)
     source_bit = 1 << program.graph.index(source)
-    result = resolve_engine(engine).run(
+    result = resolve_engine(engine, program).run(
         program,
         target_mask=source_bit,
         track_history=False,
@@ -162,7 +166,7 @@ def broadcast_times_all(
     within the round budget.
     """
     program = _program_for(protocol_or_schedule, max_rounds)
-    result = resolve_engine(engine).run(
+    result = resolve_engine(engine, program, track_item_completion=True).run(
         program,
         track_history=False,
         track_item_completion=True,

@@ -32,6 +32,7 @@ from repro.search.objective import (
     _CachedObjective,
     evaluate_program,
     program_for_rounds,
+    resolve_objective_engine,
 )
 from repro.topologies.base import Digraph
 
@@ -102,9 +103,17 @@ class _Evaluator:
         robustness=None,
         *,
         incremental: bool = False,
+        seed_rounds: tuple[Round, ...] | None = None,
     ) -> None:
         self.graph = graph
-        self.engine: SimulationEngine = resolve_engine(engine)
+        # ``seed_rounds`` (the walk's starting period) gives "auto" a
+        # representative workload shape; an explicit engine or an instance
+        # resolves the same either way.
+        self.engine: SimulationEngine = (
+            resolve_objective_engine(engine, graph, seed_rounds, objective=objective)
+            if seed_rounds is not None
+            else resolve_engine(engine)
+        )
         self.objective = objective
         self.robustness = robustness
         self.incremental = incremental
@@ -194,7 +203,8 @@ def hill_climb(
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
     evaluator = _Evaluator(
-        schedule.graph, engine, objective, robustness, incremental=incremental
+        schedule.graph, engine, objective, robustness,
+        incremental=incremental, seed_rounds=tuple(schedule.base_rounds),
     )
 
     current = tuple(schedule.base_rounds)
@@ -270,7 +280,8 @@ def simulated_annealing(
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
     evaluator = _Evaluator(
-        schedule.graph, engine, objective, robustness, incremental=incremental
+        schedule.graph, engine, objective, robustness,
+        incremental=incremental, seed_rounds=tuple(schedule.base_rounds),
     )
 
     best_rounds = tuple(schedule.base_rounds)
@@ -341,7 +352,6 @@ def synthesize_schedule(
             f"unknown search strategy {strategy!r}; expected one of {STRATEGIES}"
         )
     rng = random.Random(seed)
-    resolved = resolve_engine(engine)
 
     seeds: list[SystolicSchedule] = [
         edge_coloring_seed(graph, mode),
@@ -353,6 +363,12 @@ def synthesize_schedule(
             random_systolic_schedule(graph, baseline_period, mode, rng=rng)
         )
 
+    # One workload-aware resolution for the whole synthesis: the resolved
+    # instance is threaded through seed scoring and every driver pass, so
+    # every candidate runs on the same backend.
+    resolved = resolve_objective_engine(
+        engine, graph, tuple(seeds[0].base_rounds), objective=objective
+    )
     evaluator = _Evaluator(
         graph, resolved, objective, robustness, incremental=incremental
     )

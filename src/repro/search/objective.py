@@ -60,6 +60,7 @@ __all__ = [
     "ObjectiveValue",
     "RobustnessSpec",
     "program_for_rounds",
+    "resolve_objective_engine",
     "evaluate_program",
     "evaluate_schedule",
     "evaluate_candidates",
@@ -183,6 +184,31 @@ def _nominal_run_options(objective: str) -> dict:
     return {"track_history": False}
 
 
+def resolve_objective_engine(
+    engine: str | SimulationEngine | None,
+    graph: Digraph,
+    rounds: Sequence[Round],
+    *,
+    objective: str = "gossip_rounds",
+    max_rounds: int | None = None,
+) -> SimulationEngine:
+    """Resolve ``engine`` against the workload shape the objective will run.
+
+    Search scores candidates by running them, so ``"auto"`` should see what
+    the runs will look like: a cyclic program over ``rounds`` (a seed or
+    representative candidate period) with the objective's tracking flags.
+    One resolution serves a whole walk or batch — every candidate then runs
+    on the same backend, keeping scores comparable.
+    """
+    options = _nominal_run_options(objective)
+    program = program_for_rounds(graph, rounds, max_rounds)
+    return resolve_engine(
+        engine,
+        program,
+        track_item_completion=options.get("track_item_completion", False),
+    )
+
+
 def _robust_score(
     program: RoundProgram,
     engine: SimulationEngine,
@@ -286,8 +312,15 @@ def evaluate_schedule(
 ) -> ObjectiveValue:
     """Score one systolic schedule (see the module docstring for semantics)."""
     program = program_for_rounds(schedule.graph, schedule.base_rounds, max_rounds)
+    resolved = resolve_objective_engine(
+        engine,
+        schedule.graph,
+        schedule.base_rounds,
+        objective=objective,
+        max_rounds=max_rounds,
+    )
     return evaluate_program(
-        program, resolve_engine(engine), objective=objective, robustness=robustness
+        program, resolved, objective=objective, robustness=robustness
     )
 
 
@@ -458,7 +491,17 @@ def evaluate_candidates(
     resume each other's runs mid-way.  Scores are bit-identical to the
     plain path by the engines' resume contract.
     """
-    resolved = resolve_engine(engine)
+    candidates = list(schedules)
+    if not candidates:
+        return []
+    first = candidates[0]
+    resolved = resolve_objective_engine(
+        engine,
+        first.graph,
+        first.base_rounds,
+        objective=objective,
+        max_rounds=max_rounds,
+    )
     if not incremental:
         return [
             evaluate_program(
@@ -467,11 +510,11 @@ def evaluate_candidates(
                 objective=objective,
                 robustness=robustness,
             )
-            for s in schedules
+            for s in candidates
         ]
     evaluators: dict[int, _CachedObjective] = {}
     values = []
-    for s in schedules:
+    for s in candidates:
         evaluator = evaluators.get(id(s.graph))
         if evaluator is None:
             evaluator = evaluators[id(s.graph)] = _CachedObjective(

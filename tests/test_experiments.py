@@ -156,6 +156,18 @@ class TestSandwich:
         assert row.certified_lower_bound <= row.measured_gossip_time
         assert row.gap_ratio >= 1.0
 
+    def test_row_records_resolved_engine(self):
+        from repro.gossip.engines import available_engines
+
+        row = sandwich_row(cycle_systolic_schedule(8, Mode.HALF_DUPLEX))
+        assert row.engine in available_engines()
+
+    def test_row_honours_explicit_engine(self):
+        row = sandwich_row(
+            cycle_systolic_schedule(8, Mode.HALF_DUPLEX), engine="reference"
+        )
+        assert row.engine == "reference"
+
     def test_default_instances_nonempty(self):
         instances = default_instances()
         assert len(instances) >= 10
