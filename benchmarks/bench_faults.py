@@ -17,8 +17,6 @@ CI can archive the trajectory alongside the engine and search timings):
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 from repro.experiments.runner import format_table
@@ -41,21 +39,7 @@ SPEEDUP_P = 0.02
 SPEEDUP_FLOOR = 5.0
 
 
-def _maybe_dump_json(section: str, rows: list[dict]) -> None:
-    """Merge ``rows`` into the ``BENCH_FAULTS_JSON`` file (for CI artifacts)."""
-    path = os.environ.get("BENCH_FAULTS_JSON")
-    if not path:
-        return
-    data: dict = {}
-    if os.path.exists(path):
-        with open(path) as fh:
-            data = json.load(fh)
-    data[section] = rows
-    with open(path, "w") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-
-
-def test_batched_montecarlo_speedup(report_sink):
+def test_batched_montecarlo_speedup(report_sink, bench_json):
     """Batched tensor kernel ≥ 5× over trials× single-run loops, bit-exact."""
     schedule = cycle_systolic_schedule(SPEEDUP_N, Mode.HALF_DUPLEX)
     model = BernoulliArcFaults(SPEEDUP_P)
@@ -110,7 +94,7 @@ def test_batched_montecarlo_speedup(report_sink):
             ],
         ),
     )
-    _maybe_dump_json("montecarlo_speedup", rows)
+    bench_json("montecarlo_speedup", rows, env_var="BENCH_FAULTS_JSON")
 
     assert speedup >= SPEEDUP_FLOOR, (
         f"batched Monte-Carlo path only {speedup:.1f}x over the looped path "
@@ -118,7 +102,7 @@ def test_batched_montecarlo_speedup(report_sink):
     )
 
 
-def test_fault_model_throughput(report_sink):
+def test_fault_model_throughput(report_sink, bench_json):
     """Batched trials/second per fault model (budgeting numbers, no gate)."""
     schedule = cycle_systolic_schedule(SPEEDUP_N, Mode.HALF_DUPLEX)
     nominal = gossip_time(schedule, engine="vectorized")
@@ -156,4 +140,4 @@ def test_fault_model_throughput(report_sink):
             ],
         ),
     )
-    _maybe_dump_json("model_throughput", rows)
+    bench_json("model_throughput", rows, env_var="BENCH_FAULTS_JSON")

@@ -23,12 +23,11 @@ JSON so CI can archive the trajectory alongside the engine timings):
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 import pytest
 
+from repro import telemetry
 from repro.experiments.runner import format_table
 from repro.experiments.search_gaps import search_gaps_table
 from repro.gossip.builders import edge_coloring_schedule, random_systolic_schedule
@@ -60,21 +59,7 @@ INCREMENTAL_MIN_SPEEDUP = {"refinement": 4.0, "random": 2.5}
 QUALITY_ITERS = 150
 
 
-def _maybe_dump_json(section: str, rows: list[dict]) -> None:
-    """Merge ``rows`` into the ``BENCH_SEARCH_JSON`` file (for CI artifacts)."""
-    path = os.environ.get("BENCH_SEARCH_JSON")
-    if not path:
-        return
-    data: dict = {}
-    if os.path.exists(path):
-        with open(path) as fh:
-            data = json.load(fh)
-    data[section] = rows
-    with open(path, "w") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-
-
-def test_search_quality_report(report_sink):
+def test_search_quality_report(report_sink, bench_json):
     """Synthesize-and-certify every family; assert the subsystem invariants."""
     start = time.perf_counter()
     table = search_gaps_table(seed=0, max_iters=QUALITY_ITERS)
@@ -109,7 +94,7 @@ def test_search_quality_report(report_sink):
             ],
         ),
     )
-    _maybe_dump_json("search_quality", rows)
+    bench_json("search_quality", rows, env_var="BENCH_SEARCH_JSON")
 
     for row in table:
         assert row.consistent, f"negative certified gap on {row.family} {row.mode}: {row}"
@@ -123,7 +108,7 @@ def test_search_quality_report(report_sink):
     )
 
 
-def test_search_evaluation_throughput(report_sink):
+def test_search_evaluation_throughput(report_sink, bench_json):
     """Batched candidate scoring per engine: throughput + differential check."""
     graph = cycle_graph(THROUGHPUT_N)
     candidates = [
@@ -152,7 +137,7 @@ def test_search_evaluation_throughput(report_sink):
         f"{THROUGHPUT_CANDIDATES} random schedules",
         format_table(rows, ["engine", "candidates", "seconds", "evals_per_second"]),
     )
-    _maybe_dump_json("search_throughput", rows)
+    bench_json("search_throughput", rows, env_var="BENCH_SEARCH_JSON")
 
     reference_scores = scores_by_engine["reference"]
     for name, scores in scores_by_engine.items():
@@ -163,7 +148,7 @@ def test_search_evaluation_throughput(report_sink):
 
 @pytest.mark.slow
 @pytest.mark.perf_regression
-def test_incremental_hill_climb_speedup(report_sink):
+def test_incremental_hill_climb_speedup(report_sink, bench_json):
     """Checkpoint-resume evaluation vs full replay: bit-identical, and faster.
 
     Two frontier hill climbs on C(256) with period 1024 — a *refinement*
@@ -248,10 +233,105 @@ def test_incremental_hill_climb_speedup(report_sink):
             ],
         ),
     )
-    _maybe_dump_json("incremental", rows)
+    bench_json("incremental", rows, env_var="BENCH_SEARCH_JSON")
 
     for label, floor in INCREMENTAL_MIN_SPEEDUP.items():
         assert speedups[label] >= floor, (
             f"incremental evaluation regressed on the {label} walk: "
             f"{speedups[label]:.2f}x speedup is below the {floor}x floor"
         )
+
+
+#: Ceiling on the recording-on / telemetry-off wall-clock ratio of the
+#: incremental hill-climb row.  Telemetry *off* costs one context-variable
+#: read per run plus dead gated-int branches — within the ≤ 3 % contract by
+#: construction — so the measurable risk is recording overhead creeping into
+#: inner loops; the generous ceiling absorbs shared-runner noise while still
+#: catching a per-slot flush regression (which measures far above it).
+TELEMETRY_OVERHEAD_CEILING = 1.15
+
+
+@pytest.mark.slow
+@pytest.mark.perf_regression
+def test_incremental_telemetry_overhead(report_sink, bench_json):
+    """Recording telemetry on the incremental C(256) walk: identical, cheap.
+
+    Runs the refinement hill climb from the speedup guard once without a
+    recorder and once under an in-memory :class:`telemetry.StatsRecorder`;
+    the outcomes (winning period, objective, acceptance history, evaluation
+    and iteration counts) must match exactly, ``run_stats`` must appear only
+    on the recorded run, and the wall-clock ratio must stay under
+    ``TELEMETRY_OVERHEAD_CEILING``.
+    """
+    graph = cycle_graph(THROUGHPUT_N)
+    coloring = edge_coloring_schedule(graph, Mode.HALF_DUPLEX)
+    tiles = INCREMENTAL_PERIOD // len(coloring.base_rounds)
+    schedule = SystolicSchedule(
+        graph=graph,
+        base_rounds=tuple(coloring.base_rounds) * tiles,
+        mode=Mode.HALF_DUPLEX,
+    )
+
+    def walk():
+        return hill_climb(
+            schedule,
+            seed=0,
+            engine="frontier",
+            max_iters=INCREMENTAL_ITERS,
+            incremental=True,
+        )
+
+    walk()  # warm the compile caches so both timed runs pay steady-state cost
+
+    start = time.perf_counter()
+    off = walk()
+    off_seconds = time.perf_counter() - start
+
+    recorder = telemetry.StatsRecorder()
+    with telemetry.recording(recorder):
+        start = time.perf_counter()
+        on = walk()
+        on_seconds = time.perf_counter() - start
+
+    assert on.schedule.base_rounds == off.schedule.base_rounds
+    assert on.objective == off.objective
+    assert on.history == off.history
+    assert on.evaluations == off.evaluations
+    assert on.iterations == off.iterations
+    assert off.run_stats is None and on.run_stats is not None
+    assert recorder.stats is not None
+    assert recorder.stats.counter("search.incremental", "evaluations") > 0
+    assert recorder.stats.counter("search.incremental", "checkpoint_hits") > 0
+
+    ratio = on_seconds / off_seconds
+    rows = [
+        {
+            "workload": "refinement",
+            "period": INCREMENTAL_PERIOD,
+            "iters": INCREMENTAL_ITERS,
+            "off_seconds": off_seconds,
+            "recording_seconds": on_seconds,
+            "overhead_ratio": ratio,
+        }
+    ]
+    report_sink(
+        f"SEARCH: telemetry overhead on the incremental C({THROUGHPUT_N}) "
+        f"hill climb",
+        format_table(
+            rows,
+            [
+                "workload",
+                "period",
+                "iters",
+                "off_seconds",
+                "recording_seconds",
+                "overhead_ratio",
+            ],
+        ),
+    )
+    bench_json("telemetry_overhead", rows, env_var="BENCH_SEARCH_JSON")
+
+    assert ratio <= TELEMETRY_OVERHEAD_CEILING, (
+        f"recording telemetry cost {ratio:.2f}x on the incremental hill climb "
+        f"(ceiling {TELEMETRY_OVERHEAD_CEILING}x)"
+    )

@@ -10,9 +10,42 @@ that EXPERIMENTS.md can be refreshed from the benchmark output.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 _REPORTS: list[tuple[str, str]] = []
+
+
+def merge_bench_json(
+    section: str, rows: list[dict], *, env_var: str = "BENCH_JSON"
+) -> None:
+    """Merge ``rows`` under ``section`` into the JSON file named by ``env_var``.
+
+    The single merge helper behind every benchmark script's CI artifact dump
+    (``BENCH_JSON`` for the engine comparison, ``BENCH_SEARCH_JSON`` for the
+    search benchmarks, ``BENCH_FAULTS_JSON`` for the fault benchmarks — the
+    per-script env vars are just different ``env_var`` arguments).  A no-op
+    when the variable is unset, so local runs never write files; existing
+    sections written by earlier tests of the same session are preserved.
+    """
+    path = os.environ.get(env_var)
+    if not path:
+        return
+    data: dict = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+    data[section] = rows
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Fixture exposing :func:`merge_bench_json` to benchmark modules."""
+    return merge_bench_json
 
 
 def pytest_configure(config):

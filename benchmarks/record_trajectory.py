@@ -1,0 +1,184 @@
+"""Append one dated performance data point to ``BENCH_trajectory.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py
+
+Runs a compact battery — one plain and one arrival-tracked engine row, one
+incremental hill climb and one batched Monte-Carlo run — under an in-memory
+:class:`repro.telemetry.StatsRecorder` and appends a row of the form ::
+
+    {"date": "2026-08-07", "sections": {...}, "telemetry": {...}}
+
+to ``BENCH_trajectory.json`` at the repository root (``--output`` overrides
+the path).  The sections hold the per-section best wall-clock timings, the
+telemetry block the flattened run counters (work actually performed —
+rounds simulated, window elements routed, checkpoint reuse, Monte-Carlo
+batches), so a timing shift can be told apart from a workload shift when
+comparing rows across commits.
+
+The battery is deliberately much smaller than the full ``bench_*`` scripts:
+the point is a cheap, committable trajectory of the same code paths, not a
+regression gate — the gates live in the ``perf_regression``-marked
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+import time
+
+from repro import telemetry
+from repro.faults import BernoulliArcFaults, monte_carlo
+from repro.gossip.engines import get_engine
+from repro.gossip.engines.base import RoundProgram
+from repro.gossip.model import Mode
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.search import hill_climb
+from repro.topologies.classic import cycle_graph
+
+#: Battery sizes: big enough that the measured loops dominate interpreter
+#: startup, small enough that one data point costs seconds.
+ENGINE_N = 1024
+SEARCH_N = 128
+SEARCH_ITERS = 30
+FAULTS_N = 256
+FAULTS_TRIALS = 64
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_trajectory.json"
+)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _engine_sections() -> dict:
+    """Plain + tracked single-shot rows on C(ENGINE_N), per backend."""
+    schedule = coloring_systolic_schedule(cycle_graph(ENGINE_N), Mode.HALF_DUPLEX)
+    program = RoundProgram.from_schedule(schedule)
+    sections = {}
+    for label, options in (
+        ("plain_gossip", {}),
+        ("tracked_arrivals", {"track_arrivals": True}),
+    ):
+        seconds = {}
+        for name in ("vectorized", "frontier", "hybrid"):
+            engine = get_engine(name)
+            seconds[name], _ = _timed(
+                lambda e=engine: e.run(program, track_history=False, **options)
+            )
+        best = min(seconds, key=seconds.get)
+        sections[label] = {
+            "instance": f"C({ENGINE_N})",
+            "seconds": seconds,
+            "best_engine": best,
+            "best_seconds": seconds[best],
+        }
+    return sections
+
+
+def _search_section() -> dict:
+    """Incremental frontier hill climb on C(SEARCH_N)."""
+    schedule = coloring_systolic_schedule(cycle_graph(SEARCH_N), Mode.HALF_DUPLEX)
+    seconds, result = _timed(
+        lambda: hill_climb(
+            schedule,
+            seed=0,
+            engine="frontier",
+            max_iters=SEARCH_ITERS,
+            incremental=True,
+        )
+    )
+    return {
+        "instance": f"C({SEARCH_N})",
+        "iters": SEARCH_ITERS,
+        "seconds": seconds,
+        "evaluations": result.evaluations,
+        "evals_per_second": result.evaluations / seconds,
+        "objective": result.objective.score,
+    }
+
+
+def _faults_section() -> dict:
+    """Batched Bernoulli Monte-Carlo on C(FAULTS_N)."""
+    schedule = coloring_systolic_schedule(cycle_graph(FAULTS_N), Mode.HALF_DUPLEX)
+    model = BernoulliArcFaults(0.05)
+    seconds, result = _timed(
+        lambda: monte_carlo(
+            schedule, model, trials=FAULTS_TRIALS, seed=0, method="batched"
+        )
+    )
+    return {
+        "instance": f"C({FAULTS_N})",
+        "model": model.name,
+        "trials": FAULTS_TRIALS,
+        "seconds": seconds,
+        "trials_per_second": FAULTS_TRIALS / seconds,
+        "completion_rate": result.completion_rate,
+    }
+
+
+def record_point(output: str) -> dict:
+    """Run the battery, append the dated row to ``output``, return the row."""
+    recorder = telemetry.StatsRecorder()
+    with telemetry.recording(recorder):
+        sections = _engine_sections()
+        sections["incremental_hill_climb"] = _search_section()
+        sections["batched_montecarlo"] = _faults_section()
+
+    assert recorder.stats is not None
+    counters = {
+        f"{component}.{name}": value
+        for component, counts in sorted(recorder.stats.counters.items())
+        for name, value in sorted(counts.items())
+    }
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "sections": sections,
+        "telemetry": counters,
+    }
+
+    trajectory: list = []
+    if os.path.exists(output):
+        with open(output) as fh:
+            trajectory = json.load(fh)
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} does not hold a JSON list; refusing to append")
+    trajectory.append(entry)
+    with open(output, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append one dated benchmark data point to BENCH_trajectory.json."
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="trajectory file to append to (default: BENCH_trajectory.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    entry = record_point(args.output)
+    best = {
+        name: section.get("best_seconds", section.get("seconds"))
+        for name, section in entry["sections"].items()
+    }
+    print(f"recorded {entry['date']} -> {os.path.abspath(args.output)}")
+    for name, seconds in best.items():
+        print(f"  {name}: {seconds:.4f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

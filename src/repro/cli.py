@@ -21,13 +21,29 @@ take ``--engine {auto,frontier,reference,vectorized,...}`` to pin the
 simulation backend (the ``REPRO_SIM_ENGINE`` environment variable overrides
 ``auto`` globally); the choices are drawn live from the engine registry, so
 newly registered backends appear automatically.
+
+Telemetry and logging
+---------------------
+``--trace PATH`` (or the ``REPRO_TRACE`` environment variable) streams the
+run's spans, counters and events as JSONL through
+:class:`repro.telemetry.JsonlRecorder`; ``repro-gossip stats TRACE.jsonl``
+summarises such a file (``--chrome OUT.json`` converts it to the Chrome
+trace-event format for Perfetto / ``chrome://tracing``).  ``--metrics`` on
+``optimize``/``robustness``/``broadcast`` records in memory and prints the
+run-stats table after the command's own output.  ``-v`` raises stdlib
+logging to INFO, ``-vv`` to DEBUG (where the telemetry layer mirrors every
+record), ``-q`` silences everything below ERROR.  Recording never changes
+results — the engines' telemetry is bit-neutral by construction.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
+
+from repro import telemetry
 
 from repro.experiments.broadcast_sweep import broadcast_sweep_table
 from repro.experiments.fig4 import fig4_table
@@ -82,6 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-gossip",
         description="Regenerate the tables of 'Lower bounds on systolic gossip'.",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry (spans, counters, events) as JSONL to PATH; "
+        f"the {telemetry.TRACE_ENV_VAR} environment variable is the fallback",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity: -v INFO, -vv DEBUG (telemetry records)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="silence logging below ERROR",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("fig4", help="general systolic lower bound (Fig. 4)")
     sub.add_parser("fig5", help="separator-refined systolic bounds (Fig. 5)")
@@ -102,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         "broadcast", help="batched multi-source broadcast sweep per topology"
     )
     _add_engine_flag(broadcast)
+    _add_metrics_flag(broadcast)
     search = sub.add_parser(
         "search", help="synthesized schedules vs. certified bounds per topology"
     )
@@ -183,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fewer simulated rounds per evaluation)",
     )
     _add_engine_flag(optimize)
+    _add_metrics_flag(optimize)
     robustness = sub.add_parser(
         "robustness",
         help="Monte-Carlo fault-injection analysis of one instance's schedule",
@@ -239,6 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-trial round budget (default: 3x the fault-free gossip time)",
     )
     _add_engine_flag(robustness)
+    _add_metrics_flag(robustness)
+    stats = sub.add_parser(
+        "stats", help="summarise a JSONL telemetry trace written by --trace"
+    )
+    stats.add_argument("trace_path", help="path to a --trace / REPRO_TRACE JSONL file")
+    stats.add_argument(
+        "--chrome",
+        metavar="OUT.json",
+        default=None,
+        help="also convert the trace to Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
     everything = sub.add_parser("all", help="run every experiment (EXPERIMENTS.md source)")
     _add_engine_flag(everything)
     return parser
@@ -251,6 +301,16 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         choices=(AUTO_ENGINE, *available_engines()),
         default=AUTO_ENGINE,
         help="simulation engine to use (default: auto)",
+    )
+
+
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    """``--metrics``: record telemetry in memory and print the run-stats table."""
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect run telemetry in memory and print the counter/span "
+        "table after the command output (results are unchanged)",
     )
 
 
@@ -295,21 +355,25 @@ def _run_optimize(args: argparse.Namespace) -> int:
         robustness = RobustnessSpec(
             BernoulliArcFaults(args.fault_p), trials=args.fault_trials, seed=args.seed
         )
-    result = synthesize_schedule(
-        graph,
-        mode,
-        strategy=args.strategy,
-        objective=args.objective,
-        seed=args.seed,
-        max_iters=args.iterations,
-        restarts=args.restarts,
-        engine=args.engine,
-        robustness=robustness,
-        incremental=args.incremental,
-    )
-    report = certified_gap(
-        result.schedule, found=result.found_rounds, engine=args.engine
-    )
+    with telemetry.span(
+        "cli.synthesize", graph=graph.name, strategy=args.strategy
+    ):
+        result = synthesize_schedule(
+            graph,
+            mode,
+            strategy=args.strategy,
+            objective=args.objective,
+            seed=args.seed,
+            max_iters=args.iterations,
+            restarts=args.restarts,
+            engine=args.engine,
+            robustness=robustness,
+            incremental=args.incremental,
+        )
+    with telemetry.span("cli.certify", graph=graph.name):
+        report = certified_gap(
+            result.schedule, found=result.found_rounds, engine=args.engine
+        )
     print(
         format_table(
             [
@@ -436,9 +500,68 @@ def _run_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: validate + summarise a JSONL telemetry trace."""
+    from repro.telemetry.trace import TraceError, read_stats, write_chrome_trace
+
+    try:
+        stats = read_stats(args.trace_path)
+    except TraceError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    print(stats.format_table())
+    if args.chrome is not None:
+        count = write_chrome_trace(args.trace_path, args.chrome)
+        print(f"wrote {count} Chrome trace event(s) to {args.chrome}")
+    return 0
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Map ``-q``/``-v``/``-vv`` onto the stdlib root logger (stderr)."""
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, stream=sys.stderr, format="%(levelname)s %(name)s: %(message)s"
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
+    if args.command == "stats":
+        return _run_stats(args)
+
+    trace_path = args.trace or telemetry.trace_path_from_env()
+    wants_metrics = getattr(args, "metrics", False)
+    if trace_path is not None:
+        recorder: telemetry.Recorder | None = telemetry.JsonlRecorder(trace_path)
+    elif wants_metrics:
+        recorder = telemetry.StatsRecorder()
+    else:
+        recorder = None
+
+    if recorder is None:
+        return _dispatch(args)
+    with recorder, telemetry.recording(recorder):
+        with telemetry.span("cli.command", command=args.command):
+            code = _dispatch(args)
+    if wants_metrics and recorder.stats is not None:
+        print(recorder.stats.format_table())
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one parsed subcommand; returns a process exit code."""
     command = args.command
 
     if command == "fig4":

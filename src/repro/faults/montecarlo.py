@@ -38,10 +38,20 @@ Scope: trials start from the paper's initial state (vertex ``i`` knows item
 ``i``) and target complete gossip — the robustness questions this subsystem
 answers.  Use the engine layer directly for custom initial states or
 subset targets.
+
+When a :mod:`repro.telemetry` recorder is active, every :func:`monte_carlo`
+call records one ``faults.monte_carlo`` span (method, engine, tensor shape)
+plus a single ``faults.montecarlo`` counter flush — ``trials``,
+``completed``, ``horizon``, and on the batched path ``batches``,
+``exact_replays`` and ``compactions`` — and one ``faults.compaction`` event
+per tensor shrink.  All counters are plain gated ints accumulated locally;
+with the default ``NullRecorder`` the whole layer costs one context-variable
+read per call and never changes results (``tests/test_telemetry.py``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 try:
@@ -49,6 +59,7 @@ try:
 except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
     np = None  # type: ignore[assignment]
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.faults.models import FaultModel, FaultSample
 from repro.gossip.engines import (
@@ -158,6 +169,9 @@ def monte_carlo(
     """
     if method not in METHODS:
         raise SimulationError(f"unknown method {method!r}; expected one of {METHODS}")
+    _rec = telemetry.get_recorder()
+    _telem = _rec.enabled
+    _t0 = time.perf_counter_ns() if _telem else 0
     program = _program_for(protocol_or_schedule, None)
     explicit_engine = not is_auto_spec(engine) or engine_override() is not None
 
@@ -183,7 +197,8 @@ def monte_carlo(
     if method == "batched":
         if not numpy_available():  # pragma: no cover - numpy is a hard dep today
             raise SimulationError("the batched Monte-Carlo path requires NumPy >= 2.0")
-        completion, knowledge = _run_batched(program, sample)
+        _counts = {"batches": 0, "exact_replays": 0, "compactions": 0} if _telem else None
+        completion, knowledge = _run_batched(program, sample, telem_counts=_counts)
         engine_name = "montecarlo-batched"
     else:
         # Trials are finite perturbed programs, which the decision function
@@ -193,6 +208,28 @@ def monte_carlo(
         )
         completion, knowledge = _run_looped(program, sample, resolved)
         engine_name = resolved.name
+        _counts = None
+
+    if _telem:
+        counts = {
+            "runs": 1,
+            "trials": trials,
+            "completed": sum(1 for r in completion if r is not None),
+            "horizon": horizon,
+        }
+        if _counts is not None:
+            counts.update(_counts)
+        _rec.counters("faults.montecarlo", counts)
+        telemetry.record_span(
+            "faults.monte_carlo",
+            _t0,
+            method=method,
+            engine=engine_name,
+            n=program.graph.n,
+            trials=trials,
+            horizon=horizon,
+            words=max(1, (program.graph.n + _WORD_MASK) >> _WORD_SHIFT),
+        )
 
     return FaultTrialResult(
         graph=program.graph,
@@ -267,7 +304,10 @@ def _apply_masked_round(
 
 
 def _run_batched(
-    program: RoundProgram, sample: FaultSample
+    program: RoundProgram,
+    sample: FaultSample,
+    *,
+    telem_counts: dict | None = None,
 ) -> tuple[tuple[int | None, ...], tuple[tuple[int, ...], ...]]:
     """All trials at once over a stacked ``(n, trials, W)`` bitset tensor.
 
@@ -354,6 +394,8 @@ def _run_batched(
     buffer = np.empty((scratch_rows, live.size, words), dtype=np.uint64)
     while executed < horizon and live.size:
         size = min(batch, horizon - executed)
+        if telem_counts is not None:
+            telem_counts["batches"] += 1
         saved = tensor.copy()
         for offset in range(1, size + 1):
             r = executed + offset
@@ -387,9 +429,19 @@ def _run_batched(
                     int(live[position]), saved[:, position], executed, executed + size
                 )
             keep = ~done
+            dropped = int(done.sum())
             live = live[keep]
             tensor = np.ascontiguousarray(tensor[:, keep])
             buffer = np.empty((scratch_rows, live.size, words), dtype=np.uint64)
+            if telem_counts is not None:
+                telem_counts["exact_replays"] += dropped
+                telem_counts["compactions"] += 1
+                telemetry.event(
+                    "faults.compaction",
+                    round=executed + size,
+                    dropped=dropped,
+                    live=int(live.size),
+                )
         executed += size
         batch = min(batch * 2, _BATCH_CAP)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Mapping
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.gossip.engines import ArrivalRounds, SimulationEngine, resolve_engine
 from repro.gossip.model import GossipProtocol, Mode, SystolicSchedule
@@ -123,7 +124,10 @@ def _tracked_run(
         track_item_completion=track.get("track_item_completion", False),
         track_arrivals=track.get("track_arrivals", False),
     )
-    return program, resolved.run(program, track_history=False, **track)
+    with telemetry.span(
+        "analysis.tracked_run", engine=resolved.name, n=program.graph.n
+    ):
+        return program, resolved.run(program, track_history=False, **track)
 
 
 def arrival_times(

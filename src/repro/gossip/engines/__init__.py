@@ -99,6 +99,44 @@ The vectorized engine does not checkpoint (its tiled kernel keeps no
 mid-run canonical state cheaply); ``supports_checkpointing`` returns
 ``False`` for it and search falls back to full runs.
 
+Telemetry
+---------
+Every backend self-reports through :mod:`repro.telemetry` when a recorder
+is active (``--trace PATH`` / ``REPRO_TRACE`` stream JSONL; ``--metrics``
+prints the in-memory roll-up; both install a recorder around the run).
+With the default ``NullRecorder`` the whole layer costs one context-variable
+read per run — counters are accumulated as plain local ints behind a single
+``enabled`` check and flushed once at run end, never per-slot.
+
+Counter vocabulary (component ``engine.<name>``):
+
+* ``runs`` — engine invocations;
+* ``rounds_simulated`` — rounds actually executed by the loop;
+* ``rounds_synthesized`` — rounds *not* executed because a sparse engine
+  proved a fixed point (its ``idle >= s`` early exit) and synthesized the
+  remainder;
+* ``slots_fired_sparse`` / ``slots_fired_dense`` — slot firings by path
+  (for the frontier engine "dense" means first firings; for the hybrid
+  engine it means over-threshold fallbacks are counted separately in
+  ``dense_fallbacks``);
+* ``window_elements_routed`` — sparse-path routing volume: (vertex, item)
+  pairs for the frontier engine, pending window words for the hybrid one;
+* ``early_exit_round`` — the round at which the fixed point was detected
+  (0 when the run never early-exited);
+* ``batches`` / ``replayed_rounds`` — the vectorized kernel's doubling
+  batches and post-completion replay rounds.
+
+Each run also records an ``engine.run`` span (wall time, attributed to the
+enclosing CLI/search span) and attaches a
+:class:`repro.telemetry.RunStats` to ``SimulationResult.run_stats``.
+Engine *resolution* emits an ``engine.resolve`` event carrying the resolved
+name, the source (``explicit`` / ``env`` / ``auto-program`` / ``auto-bare``)
+and — for workload-aware picks — the rationale string from
+:func:`explain_engine_selection` saying which statistic crossed which
+threshold.  Telemetry can only change what is *recorded*, never results:
+the neutrality suite (``tests/test_telemetry.py``) certifies recorded runs
+bit-identical to telemetry-off runs for every registered backend.
+
 Adding a fifth backend
 ----------------------
 Implement the :class:`~repro.gossip.engines.base.SimulationEngine` protocol
@@ -118,6 +156,7 @@ from __future__ import annotations
 
 import os
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
     ArrivalRounds,
@@ -133,7 +172,11 @@ from repro.gossip.engines.checkpoint import (
 )
 from repro.gossip.engines.frontier import FrontierEngine
 from repro.gossip.engines.hybrid import HybridEngine
-from repro.gossip.engines.layout import mean_arc_degree, packed_matrix_bytes
+from repro.gossip.engines.layout import (
+    mean_arc_degree,
+    packed_matrix_bytes,
+    workload_summary,
+)
 from repro.gossip.engines.reference import ReferenceEngine
 from repro.gossip.engines.vectorized import VectorizedEngine, numpy_available
 
@@ -158,6 +201,7 @@ __all__ = [
     "engine_override",
     "is_auto_spec",
     "select_engine_name",
+    "explain_engine_selection",
     "resolve_engine",
 ]
 
@@ -261,28 +305,71 @@ def select_engine_name(
     accepted so call sites can forward their full tracking signature and
     future refinements need no threading changes.
     """
+    return explain_engine_selection(
+        program,
+        track_history=track_history,
+        track_item_completion=track_item_completion,
+        track_arrivals=track_arrivals,
+    )[0]
+
+
+def explain_engine_selection(
+    program: RoundProgram,
+    *,
+    track_history: bool = False,
+    track_item_completion: bool = False,
+    track_arrivals: bool = False,
+) -> tuple[str, str]:
+    """:func:`select_engine_name` plus its rationale, as ``(name, why)``.
+
+    The rationale string names the statistic that decided the pick and the
+    threshold it was compared against; the telemetry ``engine.resolve``
+    event carries it so a trace explains every automatic dispatch.
+    """
+    del track_history  # accepted for signature parity; does not affect the pick
     if not numpy_available() or VectorizedEngine.name not in _REGISTRY:
-        return ReferenceEngine.name
+        return ReferenceEngine.name, "numpy unavailable; reference is the only backend"
     if not program.cyclic:
         # Finite programs never reuse a round slot, so the sparse engines'
         # windows never pay off: every firing would take the dense path
         # anyway, with extra bookkeeping on top.
-        return VectorizedEngine.name
+        return (
+            VectorizedEngine.name,
+            "finite (aperiodic) program: sparse windows never pay off",
+        )
     if track_item_completion or track_arrivals:
+        degree = mean_arc_degree(program.graph)
         if (
-            mean_arc_degree(program.graph) <= _TRACKED_DEGREE_CROSSOVER
+            degree <= _TRACKED_DEGREE_CROSSOVER
             and FrontierEngine.name in _REGISTRY
         ):
-            return FrontierEngine.name
+            return (
+                FrontierEngine.name,
+                f"tracked cyclic run with mean_arc_degree {degree:.2f} <= "
+                f"{_TRACKED_DEGREE_CROSSOVER:g} (item-thin news)",
+            )
         if HybridEngine.name in _REGISTRY:
-            return HybridEngine.name
-        return VectorizedEngine.name
+            return (
+                HybridEngine.name,
+                f"tracked cyclic run with mean_arc_degree {degree:.2f} > "
+                f"{_TRACKED_DEGREE_CROSSOVER:g} (word-thick news)",
+            )
+        return VectorizedEngine.name, "tracked cyclic run; no sparse backend registered"
+    matrix_bytes = packed_matrix_bytes(program.graph.n)
     if (
-        packed_matrix_bytes(program.graph.n) > _PLAIN_CACHE_CROSSOVER_BYTES
+        matrix_bytes > _PLAIN_CACHE_CROSSOVER_BYTES
         and HybridEngine.name in _REGISTRY
     ):
-        return HybridEngine.name
-    return VectorizedEngine.name
+        return (
+            HybridEngine.name,
+            f"plain cyclic run with packed_matrix_bytes {matrix_bytes} > "
+            f"{_PLAIN_CACHE_CROSSOVER_BYTES} (past cache crossover)",
+        )
+    return (
+        VectorizedEngine.name,
+        f"plain cyclic run with packed_matrix_bytes {matrix_bytes} <= "
+        f"{_PLAIN_CACHE_CROSSOVER_BYTES} (cache-resident)",
+    )
 
 
 def _auto_engine() -> SimulationEngine:
@@ -314,21 +401,54 @@ def resolve_engine(
     """
     if spec is not None and not isinstance(spec, str):
         return spec
+    telem = telemetry.get_recorder().enabled
     if not is_auto_spec(spec):
-        return get_engine(spec)
+        engine = get_engine(spec)
+        if telem:
+            telemetry.event(
+                "engine.resolve",
+                resolved=engine.name,
+                source="explicit",
+                rationale=f"caller named engine {spec!r}",
+            )
+        return engine
     override = engine_override()
     if override is not None:
-        return get_engine(override, source=f"the {ENGINE_ENV_VAR} environment variable")
-    if program is not None:
-        return _REGISTRY[
-            select_engine_name(
-                program,
-                track_history=track_history,
-                track_item_completion=track_item_completion,
-                track_arrivals=track_arrivals,
+        engine = get_engine(override, source=f"the {ENGINE_ENV_VAR} environment variable")
+        if telem:
+            telemetry.event(
+                "engine.resolve",
+                resolved=engine.name,
+                source="env",
+                rationale=f"{ENGINE_ENV_VAR}={override!r} overrides auto selection",
             )
-        ]
-    return _auto_engine()
+        return engine
+    if program is not None:
+        name, rationale = explain_engine_selection(
+            program,
+            track_history=track_history,
+            track_item_completion=track_item_completion,
+            track_arrivals=track_arrivals,
+        )
+        if telem:
+            telemetry.event(
+                "engine.resolve",
+                resolved=name,
+                source="auto-program",
+                rationale=rationale,
+                tracked=bool(track_item_completion or track_arrivals),
+                **workload_summary(program.graph),
+            )
+        return _REGISTRY[name]
+    engine = _auto_engine()
+    if telem:
+        telemetry.event(
+            "engine.resolve",
+            resolved=engine.name,
+            source="auto-bare",
+            rationale="no program supplied; historical program-blind pick",
+        )
+    return engine
 
 
 register_engine(ReferenceEngine())

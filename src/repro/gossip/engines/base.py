@@ -18,7 +18,7 @@ pure-Python reference implementation.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 try:
@@ -283,6 +283,12 @@ class SimulationResult:
     engine_name:
         Name of the engine that produced this result, so callers can verify
         which backend actually ran (the ``auto`` selection is never silent).
+    run_stats:
+        A :class:`repro.telemetry.RunStats` roll-up of the engine's run
+        counters, populated only when a telemetry recorder was active for
+        the run; ``None`` otherwise.  Excluded from equality/repr so
+        telemetry can never change what two results compare as — the
+        neutrality suite relies on this.
     """
 
     graph: Digraph
@@ -293,6 +299,7 @@ class SimulationResult:
     item_completion_rounds: tuple[int | None, ...] | None = None
     arrival_rounds: ArrivalRounds | None = None
     engine_name: str | None = None
+    run_stats: "object | None" = field(default=None, compare=False, repr=False)
 
     @property
     def complete(self) -> bool:

@@ -85,6 +85,7 @@ has never seen.  The cache must not be shared across graphs.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from functools import reduce
 from operator import or_
@@ -94,6 +95,7 @@ try:
 except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
     np = None  # type: ignore[assignment]
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
     ArrivalRounds,
@@ -382,6 +384,12 @@ class FrontierEngine(CheckpointingMixin):
     ) -> CheckpointedRun:
         if not numpy_available():  # pragma: no cover - numpy is a hard dep today
             raise SimulationError("the frontier engine requires NumPy >= 2.0")
+        _rec = telemetry.get_recorder()
+        _telem = _rec.enabled
+        _t0 = time.perf_counter_ns() if _telem else 0
+        _sparse_fired = _dense_fired = _routed = 0
+        _early_exit = _synthesized = 0
+
         graph = program.graph
         n = graph.n
         state = resume_from
@@ -507,6 +515,7 @@ class FrontierEngine(CheckpointingMixin):
             ci += 1
 
         executed = base
+        _coverage0 = coverage
         if completion is None:
             # Window bookkeeping for cyclic programs — one of two layouts.
             # Pre-split (default): per-slot pending lists filled at delta
@@ -540,6 +549,9 @@ class FrontierEngine(CheckpointingMixin):
                             window_v, window_j = _empty_delta()
                         pending_v[k] = []
                         pending_j[k] = []
+                        if _telem:
+                            _sparse_fired += 1
+                            _routed += window_v.size
                         h_new, j_new = _sparse_apply(
                             flat_knowledge, words, slots[k],
                             window_v, window_j, bit_capacity,
@@ -554,6 +566,9 @@ class FrontierEngine(CheckpointingMixin):
                             window_j = np.concatenate([c[1] for c in parts])
                         else:
                             window_v, window_j = _empty_delta()
+                        if _telem:
+                            _sparse_fired += 1
+                            _routed += window_v.size
                         h_new, j_new = _sparse_apply(
                             flat_knowledge, words, slots[k],
                             window_v, window_j, bit_capacity,
@@ -568,6 +583,8 @@ class FrontierEngine(CheckpointingMixin):
                         k = (i - 1) % s
                         pending_v[k] = []
                         pending_j[k] = []
+                    if _telem:
+                        _dense_fired += 1
                     h_new, j_new = _dense_apply(knowledge, slot)
                 executed = i
 
@@ -632,6 +649,9 @@ class FrontierEngine(CheckpointingMixin):
                     # including the checkpoint states, which are captured
                     # from the (frozen) matrix for every remaining wanted
                     # round inside the budget.
+                    if _telem:
+                        _early_exit = i
+                        _synthesized = program.max_rounds - i
                     if track_history:
                         history.extend([coverage] * (program.max_rounds - i))
                     executed = program.max_rounds
@@ -639,6 +659,24 @@ class FrontierEngine(CheckpointingMixin):
                         capture(wanted[ci], None)
                         ci += 1
                     break
+
+        run_stats = None
+        if _telem:
+            counts = {
+                "runs": 1,
+                "rounds_simulated": executed - base - _synthesized,
+                "rounds_synthesized": _synthesized,
+                "slots_fired_sparse": _sparse_fired,
+                "slots_fired_dense": _dense_fired,
+                "window_elements_routed": _routed,
+                "pairs_delivered": coverage - _coverage0,
+                "early_exit_round": _early_exit,
+            }
+            _rec.counters("engine.frontier", counts)
+            telemetry.record_span(
+                "engine.run", _t0, engine=self.name, n=n, resumed_round=base
+            )
+            run_stats = telemetry.RunStats.single("engine.frontier", counts)
 
         result = SimulationResult(
             graph=graph,
@@ -651,5 +689,6 @@ class FrontierEngine(CheckpointingMixin):
             else tuple(int(x) if x >= 0 else None for x in item_rounds.tolist()),
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
+            run_stats=run_stats,
         )
         return CheckpointedRun(result, tuple(captured))

@@ -131,6 +131,7 @@ accepts the same caller-owned ``slot_cache`` dict as the frontier engine
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace as _replace
 from functools import reduce
 from operator import or_
@@ -140,6 +141,7 @@ try:
 except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
     np = None  # type: ignore[assignment]
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
     ArrivalRounds,
@@ -323,6 +325,12 @@ class HybridEngine(CheckpointingMixin):
     ) -> CheckpointedRun:
         if not numpy_available():  # pragma: no cover - numpy is a hard dep today
             raise SimulationError("the hybrid engine requires NumPy >= 2.0")
+        _rec = telemetry.get_recorder()
+        _telem = _rec.enabled
+        _t0 = time.perf_counter_ns() if _telem else 0
+        _sparse_fired = _dense_fired = _dense_fallbacks = _routed = 0
+        _simulated = _early_exit = _synthesized = 0
+
         graph = program.graph
         n = graph.n
         state = resume_from
@@ -572,6 +580,9 @@ class HybridEngine(CheckpointingMixin):
                             quiet = True
                         elif raw <= dense_cutoff:
                             dense = False
+                            if _telem:
+                                _sparse_fired += 1
+                                _routed += raw
                             # The window: every word changed since this
                             # slot's previous firing.  Entries are unique
                             # within each produced delta, so one sort-based
@@ -610,11 +621,17 @@ class HybridEngine(CheckpointingMixin):
                                 key_rows = head_rows[nz]
                                 new_words = new[nz]
                                 flat[keys] = (old | vals)[nz]
+                        elif _telem and raw:
+                            # Over-threshold window → dense fallback below
+                            # (counted separately from first firings).
+                            _dense_fallbacks += 1
                     if dense:
                         # First firing of this slot, an irregular (non-
                         # injective) slot, an over-threshold window, or any
                         # round of a finite program: dense full-knowledge
                         # transmission, word delta kept in row form.
+                        if _telem:
+                            _dense_fired += 1
                         out = _dense_apply_grouped(knowledge, slot.groups)
                         if out is None:
                             quiet = True
@@ -625,6 +642,8 @@ class HybridEngine(CheckpointingMixin):
                                 keys = receivers[elements] * words + word_cols
                                 new_words = sub[elements, word_cols]
                 executed = i
+                if _telem:
+                    _simulated += 1
 
                 if not quiet:
                     idle = 0
@@ -703,6 +722,9 @@ class HybridEngine(CheckpointingMixin):
                     # empty, so knowledge is a fixed point.  Synthesize the
                     # remaining no-op rounds bit-exactly instead of
                     # executing them — checkpoint states included.
+                    if _telem:
+                        _early_exit = i
+                        _synthesized = program.max_rounds - i
                     if track_history:
                         history.extend([coverage] * (program.max_rounds - i))
                     executed = program.max_rounds
@@ -735,6 +757,25 @@ class HybridEngine(CheckpointingMixin):
             final = knowledge
         else:
             final = _gather_bit_columns(knowledge, out_colmap)
+
+        run_stats = None
+        if _telem:
+            counts = {
+                "runs": 1,
+                "rounds_simulated": _simulated,
+                "rounds_synthesized": _synthesized,
+                "slots_fired_sparse": _sparse_fired,
+                "slots_fired_dense": _dense_fired,
+                "dense_fallbacks": _dense_fallbacks,
+                "window_elements_routed": _routed,
+                "early_exit_round": _early_exit,
+            }
+            _rec.counters("engine.hybrid", counts)
+            telemetry.record_span(
+                "engine.run", _t0, engine=self.name, n=n, resumed_round=base
+            )
+            run_stats = telemetry.RunStats.single("engine.hybrid", counts)
+
         result = SimulationResult(
             graph=graph,
             rounds_executed=executed,
@@ -746,5 +787,6 @@ class HybridEngine(CheckpointingMixin):
             else tuple(int(x) if x >= 0 else None for x in item_rounds.tolist()),
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
+            run_stats=run_stats,
         )
         return CheckpointedRun(result, tuple(captured))

@@ -146,3 +146,17 @@ def packed_matrix_bytes(n: int) -> int:
     """Bytes of the packed ``(n, W)`` uint64 knowledge matrix — the quantity
     the plain-run cache crossover is expressed in."""
     return n * packed_words(n) * 8
+
+
+def workload_summary(graph: Digraph) -> dict[str, float | int]:
+    """The O(1) statistics the ``auto`` decision function consults, in one
+    dict — also what the telemetry ``engine.resolve`` event attaches so a
+    trace records *which* statistic crossed *which* threshold."""
+    n = graph.n
+    return {
+        "n": n,
+        "m": graph.m,
+        "mean_arc_degree": mean_arc_degree(graph),
+        "packed_words": packed_words(n),
+        "packed_matrix_bytes": packed_matrix_bytes(n),
+    }

@@ -15,9 +15,11 @@ makes this engine the oracle for the differential resume suite as well.
 
 from __future__ import annotations
 
+import time
 from functools import reduce
 from operator import and_
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
     ArrivalRounds,
@@ -77,6 +79,11 @@ class ReferenceEngine(CheckpointingMixin):
         track_item_completion: bool = False,
         track_arrivals: bool = False,
     ) -> CheckpointedRun:
+        _rec = telemetry.get_recorder()
+        _telem = _rec.enabled
+        _t0 = time.perf_counter_ns() if _telem else 0
+        _slots_fired = 0
+
         graph = program.graph
         n = graph.n
         full = full_mask(n) if target_mask is None else target_mask
@@ -171,6 +178,8 @@ class ReferenceEngine(CheckpointingMixin):
             for round_number in range(base + 1, program.max_rounds + 1):
                 arcs = program.arcs_at(round_number)
                 if arcs:
+                    if _telem:
+                        _slots_fired += 1
                     snapshot = knowledge  # reads below use pre-round values
                     updates: dict[int, int] = {}
                     for tail, head in arcs:
@@ -199,6 +208,19 @@ class ReferenceEngine(CheckpointingMixin):
                 if completion is not None:
                     break
 
+        run_stats = None
+        if _telem:
+            counts = {
+                "runs": 1,
+                "rounds_simulated": executed - base,
+                "slots_fired": _slots_fired,
+            }
+            _rec.counters("engine.reference", counts)
+            telemetry.record_span(
+                "engine.run", _t0, engine=self.name, n=n, resumed_round=base
+            )
+            run_stats = telemetry.RunStats.single("engine.reference", counts)
+
         result = SimulationResult(
             graph=graph,
             rounds_executed=executed,
@@ -208,5 +230,6 @@ class ReferenceEngine(CheckpointingMixin):
             item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals),
             engine_name=self.name,
+            run_stats=run_stats,
         )
         return CheckpointedRun(result, tuple(captured))

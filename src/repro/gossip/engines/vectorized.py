@@ -54,11 +54,14 @@ with thousands of vertices.  Coverage counts use the hardware popcount
 
 from __future__ import annotations
 
+import time
+
 try:
     import numpy as np
 except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
     np = None  # type: ignore[assignment] - "auto" then resolves to the reference engine
 
+from repro import telemetry
 from repro.gossip.engines.base import (
     ArrivalRounds,
     RoundProgram,
@@ -260,6 +263,11 @@ class VectorizedEngine:
         track_item_completion: bool = False,
         track_arrivals: bool = False,
     ) -> SimulationResult:
+        _rec = telemetry.get_recorder()
+        _telem = _rec.enabled
+        _t0 = time.perf_counter_ns() if _telem else 0
+        _counts = {"batches": 0, "replayed_rounds": 0} if _telem else None
+
         graph = program.graph
         n = graph.n
         start = list(initial) if initial is not None else initial_knowledge(n)
@@ -319,8 +327,17 @@ class VectorizedEngine:
             )
         else:
             knowledge, executed, completion = self._run_fast(
-                program, compiled_at, knowledge, mask, tile_rows=tile_rows
+                program, compiled_at, knowledge, mask, tile_rows=tile_rows,
+                telem_counts=_counts,
             )
+
+        run_stats = None
+        if _telem:
+            counts = {"runs": 1, "rounds_simulated": executed}
+            counts.update(_counts)
+            _rec.counters("engine.vectorized", counts)
+            telemetry.record_span("engine.run", _t0, engine=self.name, n=n)
+            run_stats = telemetry.RunStats.single("engine.vectorized", counts)
 
         return SimulationResult(
             graph=graph,
@@ -331,6 +348,7 @@ class VectorizedEngine:
             item_completion_rounds=None if item_rounds is None else tuple(item_rounds),
             arrival_rounds=None if arrivals is None else ArrivalRounds(arrivals[old_to_new]),
             engine_name=self.name,
+            run_stats=run_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -407,6 +425,7 @@ class VectorizedEngine:
         mask: np.ndarray,
         *,
         tile_rows: int | None,
+        telem_counts: dict | None = None,
     ) -> tuple[np.ndarray, int, int | None]:
         """Batched loop: completion checked per batch, replayed for exactness.
 
@@ -425,6 +444,8 @@ class VectorizedEngine:
         while executed < max_rounds:
             size = min(batch, max_rounds - executed)
             saved = knowledge.copy()
+            if telem_counts is not None:
+                telem_counts["batches"] += 1
             for offset in range(1, size + 1):
                 _apply_round(knowledge, compiled_at(executed + offset), tile_rows)
             if _is_complete(knowledge, mask, tile_rows):
@@ -432,6 +453,8 @@ class VectorizedEngine:
                 knowledge = saved
                 for offset in range(1, size + 1):
                     _apply_round(knowledge, compiled_at(executed + offset), tile_rows)
+                    if telem_counts is not None:
+                        telem_counts["replayed_rounds"] += 1
                     if _is_complete(knowledge, mask, tile_rows):
                         executed += offset
                         return knowledge, executed, executed

@@ -108,7 +108,11 @@ class CheckpointCache:
     """LRU of engine states over the last few periods of a search walk.
 
     ``hits``/``misses`` count ``lookup`` calls that did / did not find a
-    usable resume state — the benchmark surfaces them as the reuse rate.
+    usable resume state, and ``reused_rounds`` accumulates the round depth
+    of every state handed out — the rounds the resumed runs did *not* have
+    to re-simulate.  The telemetry layer reports all three as the
+    ``search.incremental`` counters (hit rate and mean reused depth), and
+    the benchmark surfaces them as the reuse rate.
     """
 
     def __init__(self, *, max_periods: int = _DEFAULT_MAX_PERIODS) -> None:
@@ -122,6 +126,7 @@ class CheckpointCache:
         self._entries: dict[PeriodKey, dict[int, EngineState]] = {}
         self.hits = 0
         self.misses = 0
+        self.reused_rounds = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -160,7 +165,9 @@ class CheckpointCache:
             self.misses += 1
             return None, usable
         self.hits += 1
-        return usable[max(usable)], usable
+        deepest = usable[max(usable)]
+        self.reused_rounds += deepest.round
+        return deepest, usable
 
     def record(
         self, period: Sequence[Round] | PeriodKey, states: Iterable[EngineState]

@@ -16,10 +16,13 @@ scores them as one batch, and runs the selected driver from the best seeds.
 
 from __future__ import annotations
 
+import logging
 import math
 import random
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.exceptions import SimulationError
 from repro.gossip.builders import random_systolic_schedule
 from repro.gossip.engines import SimulationEngine, resolve_engine
@@ -38,6 +41,8 @@ from repro.topologies.base import Digraph
 
 __all__ = ["SearchResult", "hill_climb", "simulated_annealing", "synthesize_schedule"]
 
+_log = logging.getLogger("repro.search")
+
 #: Strategy names accepted by :func:`synthesize_schedule`.
 STRATEGIES = ("hill", "anneal")
 
@@ -50,7 +55,11 @@ class SearchResult:
     :class:`~repro.gossip.model.SystolicSchedule`; ``objective`` its score;
     ``evaluations`` counts engine runs (the search's unit of cost);
     ``history`` traces the best score after each improvement (for plots and
-    convergence assertions).
+    convergence assertions).  ``run_stats`` carries the telemetry roll-up
+    (accept/reject counts, checkpoint-cache hit rates, ...) when a recorder
+    was active for the search, ``None`` otherwise; it is excluded from
+    equality/repr so recording can never change what two results compare
+    as.
     """
 
     schedule: SystolicSchedule
@@ -60,6 +69,9 @@ class SearchResult:
     restarts: int
     seed_name: str
     history: tuple[float, ...]
+    run_stats: "telemetry.RunStats | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def found_rounds(self) -> int | None:
@@ -153,6 +165,11 @@ def _finalize(
     restarts: int,
     seed_name: str,
     history: list[float],
+    *,
+    driver: str = "search",
+    accepts: int = 0,
+    rejects: int = 0,
+    start_ns: int = 0,
 ) -> SearchResult:
     winner = SystolicSchedule(
         schedule.graph,
@@ -160,6 +177,35 @@ def _finalize(
         mode=schedule.mode,
         name=f"{schedule.graph.name}-opt-{schedule.mode.value}-s{len(best_rounds)}",
     )
+    _log.info(
+        "%s finished on %s: score=%s evaluations=%d iterations=%d",
+        driver, schedule.graph.name, best_value.score,
+        evaluator.evaluations, iterations,
+    )
+    rec = telemetry.get_recorder()
+    run_stats = None
+    if rec.enabled:
+        counts = {
+            "runs": 1,
+            "iterations": iterations,
+            "accepts": accepts,
+            "rejects": rejects,
+            "evaluations": evaluator.evaluations,
+            "improvements": max(0, len(history) - 1),
+        }
+        rec.counters(f"search.{driver}", counts)
+        run_stats = telemetry.RunStats.single(f"search.{driver}", counts)
+        if evaluator._cached is not None:
+            # The cached objective's cumulative totals for this walk,
+            # flushed exactly once at walk end.
+            inc = evaluator._cached.stats_counters()
+            rec.counters("search.incremental", inc)
+            run_stats.add_counters("search.incremental", inc)
+        if start_ns:
+            telemetry.record_span(
+                f"search.{driver}", start_ns,
+                graph=schedule.graph.name, engine=evaluator.engine.name,
+            )
     return SearchResult(
         schedule=winner,
         objective=best_value,
@@ -168,6 +214,7 @@ def _finalize(
         restarts=restarts,
         seed_name=seed_name,
         history=tuple(history),
+        run_stats=run_stats,
     )
 
 
@@ -200,6 +247,7 @@ def hill_climb(
     therefore the visited state sequence, the winner and the improvement
     history bit for bit.
     """
+    _t0 = time.perf_counter_ns() if telemetry.get_recorder().enabled else 0
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
     evaluator = _Evaluator(
@@ -214,6 +262,8 @@ def hill_climb(
 
     stale = 0
     iterations = 0
+    accepts = rejects = 0
+    log_info = _log.isEnabledFor(logging.INFO)
     for iterations in range(1, max_iters + 1):
         candidate = moves.propose(current, rng)
         if candidate == current:
@@ -230,16 +280,24 @@ def hill_climb(
         if _key(value, candidate) < _key(current_value, current):
             current, current_value = candidate, value
             stale = 0
+            accepts += 1
             if _key(value, candidate) < _key(best_value, best_rounds):
                 best_rounds, best_value = candidate, value
                 history.append(value.score)
+                if log_info:
+                    _log.info(
+                        "hill_climb improvement at iteration %d: score %s",
+                        iterations, value.score,
+                    )
         else:
+            rejects += 1
             stale += 1
             if stale >= patience:
                 break
     return _finalize(
         schedule, best_rounds, best_value, evaluator, iterations, 0,
         schedule.name, history,
+        driver="hill_climb", accepts=accepts, rejects=rejects, start_ns=_t0,
     )
 
 
@@ -277,6 +335,7 @@ def simulated_annealing(
     """
     if not 0.0 < cooling < 1.0:
         raise SimulationError(f"cooling must lie in (0, 1), got {cooling}")
+    _t0 = time.perf_counter_ns() if telemetry.get_recorder().enabled else 0
     rng = rng if rng is not None else random.Random(seed)
     moves = neighborhood or Neighborhood(schedule.graph, schedule.mode)
     evaluator = _Evaluator(
@@ -289,6 +348,7 @@ def simulated_annealing(
     history = [best_value.score]
 
     iterations = 0
+    accepts = rejects = 0
     for restart in range(restarts + 1):
         current, current_value = best_rounds, best_value
         temperature = initial_temperature
@@ -303,14 +363,19 @@ def simulated_annealing(
             if delta < 0 or (
                 temperature > 1e-12 and rng.random() < math.exp(-delta / temperature)
             ):
+                accepts += 1
                 current, current_value = candidate, value
                 if _key(value, candidate) < _key(best_value, best_rounds):
                     best_rounds, best_value = candidate, value
                     history.append(value.score)
+            else:
+                rejects += 1
             temperature *= cooling
     return _finalize(
         schedule, best_rounds, best_value, evaluator, iterations, restarts,
         schedule.name, history,
+        driver="simulated_annealing", accepts=accepts, rejects=rejects,
+        start_ns=_t0,
     )
 
 
@@ -372,13 +437,16 @@ def synthesize_schedule(
     evaluator = _Evaluator(
         graph, resolved, objective, robustness, incremental=incremental
     )
-    scored = sorted(
-        (
-            (evaluator(tuple(s.base_rounds)), s)
-            for s in seeds
-        ),
-        key=lambda pair: _key(pair[0], tuple(pair[1].base_rounds)),
-    )
+    with telemetry.span(
+        "search.seed_scoring", graph=graph.name, seeds=len(seeds)
+    ):
+        scored = sorted(
+            (
+                (evaluator(tuple(s.base_rounds)), s)
+                for s in seeds
+            ),
+            key=lambda pair: _key(pair[0], tuple(pair[1].base_rounds)),
+        )
     seed_evaluations = evaluator.evaluations
 
     moves = neighborhood or Neighborhood(graph, mode)
@@ -417,6 +485,18 @@ def synthesize_schedule(
         results, key=lambda pair: _key(pair[1].objective, tuple(pair[1].schedule.base_rounds))
     )
     total_evaluations = seed_evaluations + sum(r.evaluations for _, r in results)
+    rec = telemetry.get_recorder()
+    run_stats = None
+    if rec.enabled:
+        # Roll the driver passes' stats up into the synthesis-level summary;
+        # the seed evaluator's incremental counters are flushed here, once.
+        run_stats = telemetry.RunStats()
+        if evaluator._cached is not None:
+            seed_counts = evaluator._cached.stats_counters()
+            rec.counters("search.incremental", seed_counts)
+            run_stats.add_counters("search.incremental", seed_counts)
+        for _, r in results:
+            run_stats.merge(r.run_stats)
     return SearchResult(
         schedule=best.schedule,
         objective=best.objective,
@@ -425,4 +505,5 @@ def synthesize_schedule(
         restarts=restarts,
         seed_name=best_seed,
         history=best.history,
+        run_stats=run_stats,
     )

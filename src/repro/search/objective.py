@@ -385,6 +385,12 @@ class _CachedObjective:
         self._horizon: int | None = None
         #: Engine runs performed (memo hits cost none).
         self.evaluations = 0
+        #: Candidates answered from the exact-value memo without a run.
+        self.memo_hits = 0
+        #: Candidates rejected for free by the proven-bound table.
+        self.bound_rejects = 0
+        #: Runs that hit the cutoff budget without completing (inf sentinel).
+        self.cutoff_truncations = 0
 
     def _budget(self, period: tuple[Round, ...]) -> int:
         if self.max_rounds is not None:
@@ -420,6 +426,7 @@ class _CachedObjective:
         period = key.period
         memoized = self._memo.get(key)
         if memoized is not None:
+            self.memo_hits += 1
             return memoized
         budget = self._budget(period)
         truncated = (
@@ -432,6 +439,7 @@ class _CachedObjective:
             if bound is not None and cutoff <= bound:
                 # Already proven not to complete within `bound >= cutoff`
                 # rounds, so the true score exceeds the cutoff: reject free.
+                self.bound_rejects += 1
                 return ObjectiveValue(math.inf, False, None, self.engine.name)
             budget = cutoff
         program = RoundProgram(self.graph, period, cyclic=True, max_rounds=budget)
@@ -459,12 +467,27 @@ class _CachedObjective:
         if truncated and result.completion_round is None:
             previous = self._bound.get(key)
             self._bound[key] = cutoff if previous is None else max(previous, cutoff)
+            self.cutoff_truncations += 1
             return ObjectiveValue(math.inf, False, None, self.engine.name)
         value = _score_result(
             result, program, self.engine, self.objective, self.robustness
         )
         self._memo[key] = value
         return value
+
+    def stats_counters(self) -> dict[str, int]:
+        """Counter snapshot for the telemetry ``search.incremental`` component:
+        evaluations, memo/bound shortcuts, cutoff truncations, and the
+        checkpoint cache's hit/miss/reused-depth totals."""
+        return {
+            "evaluations": self.evaluations,
+            "memo_hits": self.memo_hits,
+            "bound_rejects": self.bound_rejects,
+            "cutoff_truncations": self.cutoff_truncations,
+            "checkpoint_hits": self.cache.hits,
+            "checkpoint_misses": self.cache.misses,
+            "reused_rounds": self.cache.reused_rounds,
+        }
 
 
 def evaluate_candidates(

@@ -1,0 +1,95 @@
+"""``repro.telemetry`` — zero-dependency run telemetry and profiling.
+
+Hierarchical spans (``perf_counter_ns`` timers with parent attribution via
+context variables), monotonic run counters with flush-once semantics, and a
+recorder registry whose default :class:`NullRecorder` keeps disabled
+telemetry near-free.  See :mod:`repro.telemetry.core` for the overhead
+contract, :mod:`repro.telemetry.sinks` for the JSONL stream format, and
+:mod:`repro.telemetry.trace` for validation / summaries / the Chrome
+trace-event exporter.
+
+Quick start::
+
+    from repro import telemetry
+
+    with telemetry.recording(telemetry.StatsRecorder()) as rec:
+        result = simulate(...)            # engines self-report
+    print(rec.stats.format_table())
+
+or stream to a file (what the CLI's ``--trace PATH`` / ``REPRO_TRACE`` do)::
+
+    with telemetry.recording(telemetry.JsonlRecorder("run.jsonl")) as rec:
+        ...
+    rec.close()
+
+The environment variable consulted by the CLI when ``--trace`` is absent:
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.core import (
+    NULL_RECORDER,
+    EventRecord,
+    NullRecorder,
+    Recorder,
+    RunStats,
+    SpanRecord,
+    StatsRecorder,
+    counters,
+    current_span_id,
+    event,
+    get_recorder,
+    record_span,
+    recording,
+    span,
+)
+from repro.telemetry.sinks import SCHEMA_TAG, JsonlRecorder
+from repro.telemetry.trace import (
+    EVENT_TYPES,
+    TraceError,
+    chrome_trace,
+    iter_trace,
+    read_stats,
+    validate_event,
+    write_chrome_trace,
+)
+
+#: Environment variable naming a JSONL trace path (CLI fallback for --trace).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def trace_path_from_env() -> str | None:
+    """The ``REPRO_TRACE`` trace destination, if configured and non-empty."""
+    path = os.environ.get(TRACE_ENV_VAR, "").strip()
+    return path or None
+
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventRecord",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RunStats",
+    "SCHEMA_TAG",
+    "SpanRecord",
+    "StatsRecorder",
+    "TRACE_ENV_VAR",
+    "TraceError",
+    "chrome_trace",
+    "counters",
+    "current_span_id",
+    "event",
+    "get_recorder",
+    "iter_trace",
+    "read_stats",
+    "record_span",
+    "recording",
+    "span",
+    "trace_path_from_env",
+    "validate_event",
+    "write_chrome_trace",
+]

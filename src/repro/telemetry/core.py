@@ -1,0 +1,310 @@
+"""Recorder registry, hierarchical spans, and run counters.
+
+Everything here is stdlib-only and built around one invariant: **disabled
+telemetry must cost one context-variable read per run**, never per-round or
+per-slot work.  The moving parts:
+
+* A :class:`Recorder` installed in a :class:`contextvars.ContextVar`; the
+  default is a shared :data:`NULL_RECORDER` whose ``enabled`` flag is
+  ``False``.  Hot code reads the flag once at run start and keeps counters
+  as plain local ints, flushing a single dict at run end via
+  :meth:`Recorder.counters` — the "flush once" contract.
+* :func:`span` — a context manager timing a region with
+  :func:`time.perf_counter_ns` and attributing it to the enclosing span via
+  a second context variable, so traces form a tree even across the
+  CLI → search → engine call stack.
+* :func:`record_span` — the allocation-free variant for leaf regions
+  (engine runs, fault kernels): callers snapshot ``perf_counter_ns()``
+  themselves *only when telemetry is enabled* and report the finished span
+  in one call, without touching the current-span context variable.
+* :class:`RunStats` — the in-memory aggregation every recording sink
+  maintains; simulation and search results carry one in their ``run_stats``
+  field when a recorder was active.
+
+Counter vocabulary (component → counters) is documented in
+:mod:`repro.gossip.engines` and ROADMAP.md's Telemetry section.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "EventRecord",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RunStats",
+    "SpanRecord",
+    "StatsRecorder",
+    "counters",
+    "current_span_id",
+    "event",
+    "get_recorder",
+    "record_span",
+    "recording",
+    "span",
+]
+
+_log = logging.getLogger("repro.telemetry")
+
+_DEBUG = logging.DEBUG
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished timed region."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_ns: int
+    duration_ns: int
+    attrs: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One point-in-time annotation (e.g. an engine-resolution decision)."""
+
+    name: str
+    ts_ns: int
+    attrs: Mapping[str, Any]
+
+
+@dataclass(slots=True)
+class RunStats:
+    """In-memory roll-up of counters, spans, and events for one run.
+
+    ``counters`` maps component name (``"engine.frontier"``,
+    ``"search.hill_climb"``, ``"faults.montecarlo"``, ...) to a dict of
+    monotonic integer counters.  Merging sums counters and concatenates
+    span/event lists, so per-phase stats compose into whole-run stats.
+    """
+
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
+
+    @classmethod
+    def single(cls, component: str, counts: Mapping[str, int]) -> "RunStats":
+        return cls(counters={component: dict(counts)})
+
+    def add_counters(self, component: str, counts: Mapping[str, int]) -> None:
+        bucket = self.counters.setdefault(component, {})
+        for name, value in counts.items():
+            bucket[name] = bucket.get(name, 0) + int(value)
+
+    def counter(self, component: str, name: str, default: int = 0) -> int:
+        return self.counters.get(component, {}).get(name, default)
+
+    def merge(self, other: "RunStats | None") -> "RunStats":
+        """Fold ``other`` into ``self`` (no-op for ``None``); returns self."""
+        if other is not None:
+            for component, counts in other.counters.items():
+                self.add_counters(component, counts)
+            self.spans.extend(other.spans)
+            self.events.extend(other.events)
+        return self
+
+    def span_totals(self) -> dict[str, tuple[int, int]]:
+        """Aggregate spans by name → ``(count, total_ns)``."""
+        totals: dict[str, tuple[int, int]] = {}
+        for record in self.spans:
+            count, total = totals.get(record.name, (0, 0))
+            totals[record.name] = (count + 1, total + record.duration_ns)
+        return totals
+
+    def format_table(self) -> str:
+        """Human-readable metrics table (the CLI ``--metrics`` output)."""
+        lines: list[str] = []
+        if self.spans:
+            lines.append("span                              count      total")
+            lines.append("-" * 50)
+            for name, (count, total_ns) in sorted(self.span_totals().items()):
+                lines.append(f"{name:<32} {count:>6} {total_ns / 1e6:>9.2f}ms")
+        if self.counters:
+            if lines:
+                lines.append("")
+            lines.append("counter                                      value")
+            lines.append("-" * 50)
+            for component in sorted(self.counters):
+                for name in sorted(self.counters[component]):
+                    label = f"{component}.{name}"
+                    lines.append(f"{label:<40} {self.counters[component][name]:>9}")
+        for record in self.events:
+            if record.name == "engine.resolve":
+                lines.append("")
+                lines.append(
+                    "engine.resolve: {resolved} [{source}] — {rationale}".format(
+                        resolved=record.attrs.get("resolved", "?"),
+                        source=record.attrs.get("source", "?"),
+                        rationale=record.attrs.get("rationale", ""),
+                    )
+                )
+        return "\n".join(lines) if lines else "(no telemetry recorded)"
+
+
+class Recorder:
+    """Base recording sink: accumulates a :class:`RunStats` roll-up.
+
+    Subclasses extend :meth:`counters` / :meth:`span` / :meth:`event` to
+    stream records elsewhere (JSONL, sockets, ...) but should call
+    ``super()`` so the in-memory summary stays available for ``--metrics``.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.stats = RunStats()
+
+    def counters(self, component: str, counts: Mapping[str, int]) -> None:
+        self.stats.add_counters(component, counts)
+        if _log.isEnabledFor(_DEBUG):
+            _log.debug("counters %s %s", component, dict(counts))
+
+    def span(self, record: SpanRecord) -> None:
+        self.stats.spans.append(record)
+        if _log.isEnabledFor(_DEBUG):
+            _log.debug(
+                "span %s %.3fms parent=%s %s",
+                record.name,
+                record.duration_ns / 1e6,
+                record.parent_id,
+                dict(record.attrs),
+            )
+
+    def event(self, record: EventRecord) -> None:
+        self.stats.events.append(record)
+        if _log.isEnabledFor(_DEBUG):
+            _log.debug("event %s %s", record.name, dict(record.attrs))
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StatsRecorder(Recorder):
+    """In-memory-only recording sink (``--metrics`` without ``--trace``)."""
+
+
+class NullRecorder:
+    """The default sink: telemetry off.  Every method is a no-op.
+
+    ``enabled`` is the one attribute hot paths consult; while this recorder
+    is installed, instrumented code skips timer reads, counter increments,
+    and record construction entirely.
+    """
+
+    enabled = False
+    stats = None
+
+    def counters(self, component: str, counts: Mapping[str, int]) -> None:
+        pass
+
+    def span(self, record: SpanRecord) -> None:
+        pass
+
+    def event(self, record: EventRecord) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+_RECORDER: ContextVar["Recorder | NullRecorder"] = ContextVar(
+    "repro_telemetry_recorder", default=NULL_RECORDER
+)
+_CURRENT_SPAN: ContextVar[int | None] = ContextVar(
+    "repro_telemetry_span", default=None
+)
+_NEXT_SPAN_ID = itertools.count(1)
+
+
+def get_recorder() -> "Recorder | NullRecorder":
+    """The recorder installed for the current context (NullRecorder when off)."""
+    return _RECORDER.get()
+
+
+def current_span_id() -> int | None:
+    """Identifier of the innermost active :func:`span`, if any."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def recording(recorder: "Recorder | NullRecorder") -> Iterator["Recorder | NullRecorder"]:
+    """Install ``recorder`` for the duration of the ``with`` block."""
+    token = _RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _RECORDER.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[int | None]:
+    """Time a region; nested spans record this span as their parent.
+
+    Yields the span id (``None`` when telemetry is disabled, in which case
+    the context manager is as close to free as a generator can be).
+    """
+    rec = _RECORDER.get()
+    if not rec.enabled:
+        yield None
+        return
+    span_id = next(_NEXT_SPAN_ID)
+    parent_id = _CURRENT_SPAN.get()
+    token = _CURRENT_SPAN.set(span_id)
+    start_ns = time.perf_counter_ns()
+    try:
+        yield span_id
+    finally:
+        duration_ns = time.perf_counter_ns() - start_ns
+        _CURRENT_SPAN.reset(token)
+        rec.span(SpanRecord(name, span_id, parent_id, start_ns, duration_ns, attrs))
+
+
+def record_span(name: str, start_ns: int, **attrs: Any) -> None:
+    """Report an already-finished leaf region started at ``start_ns``.
+
+    For hot run loops that cannot afford a ``with`` frame: snapshot
+    ``time.perf_counter_ns()`` at entry (only when the recorder is enabled)
+    and call this once on the way out.  The span is attributed to the
+    innermost active :func:`span` as parent.
+    """
+    rec = _RECORDER.get()
+    if not rec.enabled:
+        return
+    duration_ns = time.perf_counter_ns() - start_ns
+    rec.span(
+        SpanRecord(
+            name, next(_NEXT_SPAN_ID), _CURRENT_SPAN.get(), start_ns, duration_ns, attrs
+        )
+    )
+
+
+def counters(component: str, counts: Mapping[str, int]) -> None:
+    """Flush one run's accumulated counters (no-op when telemetry is off)."""
+    rec = _RECORDER.get()
+    if rec.enabled:
+        rec.counters(component, counts)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event (no-op when telemetry is off)."""
+    rec = _RECORDER.get()
+    if rec.enabled:
+        rec.event(EventRecord(name, time.perf_counter_ns(), attrs))

@@ -1,0 +1,105 @@
+"""Streaming sinks: the JSONL trace recorder.
+
+The JSONL format is the interchange surface — one self-describing JSON
+object per line, validated by :mod:`repro.telemetry.trace` (which also
+converts it to Chrome trace-event JSON for Perfetto / ``chrome://tracing``).
+
+Line types (see :data:`repro.telemetry.trace.EVENT_TYPES`):
+
+``{"type": "meta", "schema": "repro-telemetry/1", ...}``
+    First line of every trace; carries the schema tag and creation time.
+``{"type": "span", "name", "id", "parent", "start_ns", "dur_ns", "attrs"}``
+    A finished timed region; ``parent`` is ``null`` for roots.
+``{"type": "counters", "component", "counters": {name: int, ...}}``
+    One run's flushed counter dict for one component.
+``{"type": "event", "name", "ts_ns", "attrs"}``
+    A point annotation (e.g. ``engine.resolve`` with the auto rationale).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Mapping, TextIO
+
+from repro.telemetry.core import EventRecord, Recorder, SpanRecord
+
+__all__ = ["JsonlRecorder", "SCHEMA_TAG"]
+
+SCHEMA_TAG = "repro-telemetry/1"
+
+
+def _jsonable(attrs: Mapping[str, Any]) -> dict[str, Any]:
+    """Best-effort conversion of span/event attrs to JSON-safe values."""
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class JsonlRecorder(Recorder):
+    """Recording sink that also streams every record as a JSONL line.
+
+    Keeps the in-memory :class:`~repro.telemetry.core.RunStats` roll-up from
+    the base class, so one recorder serves both ``--trace`` and
+    ``--metrics``.  Accepts a path or an open text handle (handy for
+    in-memory tests via ``io.StringIO``).
+    """
+
+    def __init__(self, path_or_handle: "str | TextIO") -> None:
+        super().__init__()
+        if isinstance(path_or_handle, str):
+            self._handle: TextIO = open(path_or_handle, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = path_or_handle
+            self._owns_handle = False
+        self._write(
+            {"type": "meta", "schema": SCHEMA_TAG, "created": time.time()}
+        )
+
+    def _write(self, obj: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
+
+    def counters(self, component: str, counts: Mapping[str, int]) -> None:
+        super().counters(component, counts)
+        self._write(
+            {
+                "type": "counters",
+                "component": component,
+                "counters": {k: int(v) for k, v in counts.items()},
+            }
+        )
+
+    def span(self, record: SpanRecord) -> None:
+        super().span(record)
+        self._write(
+            {
+                "type": "span",
+                "name": record.name,
+                "id": record.span_id,
+                "parent": record.parent_id,
+                "start_ns": record.start_ns,
+                "dur_ns": record.duration_ns,
+                "attrs": _jsonable(record.attrs),
+            }
+        )
+
+    def event(self, record: EventRecord) -> None:
+        super().event(record)
+        self._write(
+            {
+                "type": "event",
+                "name": record.name,
+                "ts_ns": record.ts_ns,
+                "attrs": _jsonable(record.attrs),
+            }
+        )
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
