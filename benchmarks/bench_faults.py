@@ -13,6 +13,12 @@ CI can archive the trajectory alongside the engine and search timings):
   a full-scale bit-exactness check.
 * **model throughput** — batched trials/second per fault model, the number
   robustness studies are budgeted from.
+* **stacked speedup** — the candidate-stacking gate: one
+  ``(n, candidates·trials, W)`` :func:`repro.faults.monte_carlo_stacked`
+  tensor over a mixed candidate portfolio must beat scoring each candidate
+  with its own looped Monte-Carlo run by at least ``STACKED_FLOOR``×, on
+  identical seeded fault realisations (so the run doubles as a full-scale
+  bit-exactness check of the stacking kernel).
 """
 
 from __future__ import annotations
@@ -20,10 +26,17 @@ from __future__ import annotations
 import time
 
 from repro.experiments.runner import format_table
-from repro.faults import BernoulliArcFaults, CrashFaults, monte_carlo
+from repro.faults import (
+    BernoulliArcFaults,
+    CrashFaults,
+    monte_carlo,
+    monte_carlo_stacked,
+)
 from repro.gossip.model import Mode
 from repro.gossip.simulation import gossip_time
 from repro.protocols.cycle import cycle_systolic_schedule
+from repro.protocols.generic import coloring_systolic_schedule
+from repro.topologies.classic import grid_2d
 
 #: Instance and trial count of the speedup gate (the acceptance criterion).
 SPEEDUP_N = 1024
@@ -37,6 +50,18 @@ SPEEDUP_P = 0.02
 #: Minimum batched-over-looped speedup (measured ≈ 26× on the dev box; the
 #: floor leaves headroom for slower shared CI runners).
 SPEEDUP_FLOOR = 5.0
+
+#: Portfolio shape of the candidate-stacking gate: a robust-search-sized
+#: batch (the `robust_gossip_rounds` batch path stacks exactly like this)
+#: of mixed same-n schedules at a moderate instance size.
+STACKED_N = 256
+STACKED_CANDIDATES = 8
+STACKED_TRIALS = 64
+
+#: Minimum stacked-over-looped-per-candidate speedup (measured ≈ 26× on
+#: the dev box; the conservative floor absorbs shared-runner noise while
+#: still catching a stacking collapse back to per-candidate dispatch).
+STACKED_FLOOR = 3.0
 
 
 def test_batched_montecarlo_speedup(report_sink, bench_json):
@@ -141,3 +166,85 @@ def test_fault_model_throughput(report_sink, bench_json):
         ),
     )
     bench_json("model_throughput", rows, env_var="BENCH_FAULTS_JSON")
+
+
+def test_stacked_montecarlo_speedup(report_sink, bench_json):
+    """Candidate-stacked kernel ≥ 3× over per-candidate loops, bit-exact.
+
+    Eight same-n candidates — the C(256) systolic schedule and the 16×16
+    grid colouring schedule in both duplex modes, twice over — evaluated
+    once through the ``(n, candidates·trials, W)`` stacked tensor and once
+    by looping ``monte_carlo(method="looped")`` over the candidates.  Both
+    paths draw each candidate's fault realisation from the same seed, so
+    every per-candidate result must agree bit for bit before the timing
+    ratio is checked.
+    """
+    half, full = Mode.HALF_DUPLEX, Mode.FULL_DUPLEX
+    grid = grid_2d(16, 16)
+    candidates = [
+        cycle_systolic_schedule(STACKED_N, half),
+        cycle_systolic_schedule(STACKED_N, full),
+        coloring_systolic_schedule(grid, half),
+        coloring_systolic_schedule(grid, full),
+    ] * (STACKED_CANDIDATES // 4)
+    model = BernoulliArcFaults(SPEEDUP_P)
+
+    start = time.perf_counter()
+    stacked = monte_carlo_stacked(
+        candidates, model, trials=STACKED_TRIALS, seed=0
+    )
+    stacked_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped = [
+        monte_carlo(
+            candidate,
+            model,
+            trials=STACKED_TRIALS,
+            seed=0,
+            engine="vectorized",
+            method="looped",
+        )
+        for candidate in candidates
+    ]
+    looped_seconds = time.perf_counter() - start
+
+    for one, other in zip(stacked, looped):
+        assert one.completion_rounds == other.completion_rounds
+        assert one.knowledge == other.knowledge
+
+    speedup = looped_seconds / stacked_seconds
+    rows = [
+        {
+            "instance": f"C({STACKED_N}) + grid 16x16",
+            "model": model.name,
+            "candidates": len(candidates),
+            "trials": STACKED_TRIALS,
+            "stacked_seconds": stacked_seconds,
+            "looped_seconds": looped_seconds,
+            "speedup": speedup,
+        }
+    ]
+    report_sink(
+        f"FAULTS: stacked Monte-Carlo over {len(candidates)} candidates x "
+        f"{STACKED_TRIALS} trials vs per-candidate loops (n={STACKED_N})",
+        format_table(
+            rows,
+            [
+                "instance",
+                "model",
+                "candidates",
+                "trials",
+                "stacked_seconds",
+                "looped_seconds",
+                "speedup",
+            ],
+        ),
+    )
+    bench_json("stacked_speedup", rows, env_var="BENCH_FAULTS_JSON")
+
+    assert speedup >= STACKED_FLOOR, (
+        f"stacked Monte-Carlo only {speedup:.1f}x over per-candidate loops "
+        f"(floor {STACKED_FLOOR}x) at {len(candidates)} candidates x "
+        f"{STACKED_TRIALS} trials"
+    )

@@ -5,7 +5,8 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/record_trajectory.py
 
 Runs a compact battery — one plain and one arrival-tracked engine row, one
-incremental hill climb and one batched Monte-Carlo run — under an in-memory
+incremental hill climb, one two-worker island search, one batched and one
+candidate-stacked Monte-Carlo run — under an in-memory
 :class:`repro.telemetry.StatsRecorder` and appends a row of the form ::
 
     {"date": "2026-08-07", "sections": {...}, "telemetry": {...}}
@@ -33,21 +34,23 @@ import sys
 import time
 
 from repro import telemetry
-from repro.faults import BernoulliArcFaults, monte_carlo
+from repro.faults import BernoulliArcFaults, monte_carlo, monte_carlo_stacked
 from repro.gossip.engines import get_engine
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Mode
 from repro.protocols.generic import coloring_systolic_schedule
-from repro.search import hill_climb
-from repro.topologies.classic import cycle_graph
+from repro.search import hill_climb, run_island_search
+from repro.topologies.classic import cycle_graph, grid_2d
 
 #: Battery sizes: big enough that the measured loops dominate interpreter
 #: startup, small enough that one data point costs seconds.
 ENGINE_N = 1024
 SEARCH_N = 128
 SEARCH_ITERS = 30
+ISLANDS_WORKERS = 2
 FAULTS_N = 256
 FAULTS_TRIALS = 64
+STACKED_CANDIDATES = 4
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_trajectory.json"
@@ -107,6 +110,29 @@ def _search_section() -> dict:
     }
 
 
+def _islands_section() -> dict:
+    """Two-worker island hill climb on C(SEARCH_N)."""
+    seconds, result = _timed(
+        lambda: run_island_search(
+            cycle_graph(SEARCH_N),
+            Mode.HALF_DUPLEX,
+            strategy="hill",
+            seed=0,
+            max_iters=SEARCH_ITERS,
+            workers=ISLANDS_WORKERS,
+        )
+    )
+    return {
+        "instance": f"C({SEARCH_N})",
+        "iters": SEARCH_ITERS,
+        "workers": ISLANDS_WORKERS,
+        "seconds": seconds,
+        "evaluations": result.evaluations,
+        "evals_per_second": result.evaluations / seconds,
+        "objective": result.objective.score,
+    }
+
+
 def _faults_section() -> dict:
     """Batched Bernoulli Monte-Carlo on C(FAULTS_N)."""
     schedule = coloring_systolic_schedule(cycle_graph(FAULTS_N), Mode.HALF_DUPLEX)
@@ -126,13 +152,42 @@ def _faults_section() -> dict:
     }
 
 
+def _stacked_faults_section() -> dict:
+    """Candidate-stacked Bernoulli Monte-Carlo over a mixed portfolio."""
+    side = int(FAULTS_N**0.5)
+    candidates = [
+        coloring_systolic_schedule(cycle_graph(FAULTS_N), Mode.HALF_DUPLEX),
+        coloring_systolic_schedule(cycle_graph(FAULTS_N), Mode.FULL_DUPLEX),
+        coloring_systolic_schedule(grid_2d(side, side), Mode.HALF_DUPLEX),
+        coloring_systolic_schedule(grid_2d(side, side), Mode.FULL_DUPLEX),
+    ][:STACKED_CANDIDATES]
+    model = BernoulliArcFaults(0.05)
+    seconds, results = _timed(
+        lambda: monte_carlo_stacked(
+            candidates, model, trials=FAULTS_TRIALS, seed=0
+        )
+    )
+    trials = FAULTS_TRIALS * len(candidates)
+    return {
+        "instance": f"C({FAULTS_N}) + grid {side}x{side}",
+        "model": model.name,
+        "candidates": len(candidates),
+        "trials": trials,
+        "seconds": seconds,
+        "trials_per_second": trials / seconds,
+        "completion_rate": min(result.completion_rate for result in results),
+    }
+
+
 def record_point(output: str) -> dict:
     """Run the battery, append the dated row to ``output``, return the row."""
     recorder = telemetry.StatsRecorder()
     with telemetry.recording(recorder):
         sections = _engine_sections()
         sections["incremental_hill_climb"] = _search_section()
+        sections["island_search"] = _islands_section()
         sections["batched_montecarlo"] = _faults_section()
+        sections["stacked_montecarlo"] = _stacked_faults_section()
 
     assert recorder.stats is not None
     counters = {

@@ -219,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
         "across candidates sharing a period prefix (bit-identical results, "
         "fewer simulated rounds per evaluation)",
     )
+    optimize.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the multi-process island search with N worker processes "
+        "(results are deterministic for a fixed seed regardless of N; "
+        "default: single-process portfolio search)",
+    )
     _add_engine_flag(optimize)
     _add_metrics_flag(optimize)
     robustness = sub.add_parser(
@@ -369,6 +378,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
             engine=args.engine,
             robustness=robustness,
             incremental=args.incremental,
+            workers=args.workers,
         )
     with telemetry.span("cli.certify", graph=graph.name):
         report = certified_gap(

@@ -17,7 +17,10 @@ answer it at scale:
   ``(trials, n, W)`` bitset tensor kernel advancing *all* trials one round
   per NumPy pass, plus a looped per-engine fallback; both consume the same
   seeded fault realisation, so results are bit-identical across paths and
-  engines;
+  engines — and :func:`~repro.faults.montecarlo.monte_carlo_stacked`
+  extends the tensor across whole candidate portfolios
+  (``(n, candidates·trials, W)``), which is how robust batch search
+  amortises its trials;
 * :mod:`repro.faults.metrics` — completion probability vs round budget,
   expected/quantile gossip times, per-vertex reachability degradation, and
   :func:`~repro.faults.metrics.worst_case_gossip_time`.
@@ -58,7 +61,13 @@ from repro.faults.models import (
     FaultModel,
     FaultSample,
 )
-from repro.faults.montecarlo import METHODS, FaultTrialResult, default_horizon, monte_carlo
+from repro.faults.montecarlo import (
+    METHODS,
+    FaultTrialResult,
+    default_horizon,
+    monte_carlo,
+    monte_carlo_stacked,
+)
 
 __all__ = [
     "FaultModel",
@@ -70,6 +79,7 @@ __all__ = [
     "FaultTrialResult",
     "METHODS",
     "monte_carlo",
+    "monte_carlo_stacked",
     "default_horizon",
     "completion_probability",
     "completion_curve",

@@ -34,6 +34,25 @@ engine registry's own differential guarantees, giving cross-engine
 bit-exactness of fault trials for free (enforced by
 ``tests/test_faults_differential.py``).
 
+Candidate stacking
+------------------
+:func:`monte_carlo_stacked` generalises the batched kernel from one
+protocol to a whole *candidate set* over the same vertex count: the tensor
+grows to ``(n, candidates · trials, W)`` with candidate-major column
+blocks, each candidate's round slots compiled once into its own
+head-grouped (and AP-segmented) layout, and every round advanced with one
+pass over the per-candidate block views.  Each candidate keeps its own
+seeded :class:`~repro.faults.models.FaultSample` (fault draws depend on
+the candidate's own horizon and arc count), so every candidate's results
+are bit-identical to a standalone :func:`monte_carlo` call — growing the
+candidate set never perturbs the trials of the candidates already in it.
+Batch bookkeeping (doubling round batches, one completion scan, compaction
+of finished columns) is shared across the whole stack, which is what makes
+scoring a search neighbourhood's robustness one kernel invocation instead
+of one per candidate (``benchmarks/bench_faults.py`` gates the speed-up).
+Candidates past their own horizon simply freeze (their columns ride along
+untouched) until the stack drains.
+
 Scope: trials start from the paper's initial state (vertex ``i`` knows item
 ``i``) and target complete gossip — the robustness questions this subsystem
 answers.  Use the engine layer directly for custom initial states or
@@ -81,7 +100,13 @@ from repro.gossip.engines._bitops import (
 from repro.gossip.engines.vectorized import _ap_segments
 from repro.gossip.simulation import _program_for
 
-__all__ = ["FaultTrialResult", "monte_carlo", "default_horizon", "METHODS"]
+__all__ = [
+    "FaultTrialResult",
+    "monte_carlo",
+    "monte_carlo_stacked",
+    "default_horizon",
+    "METHODS",
+]
 
 #: Execution paths accepted by :func:`monte_carlo`.
 METHODS = ("auto", "batched", "looped")
@@ -457,3 +482,315 @@ def _run_batched(
         tuple(int(c) if c >= 0 else None for c in completion.tolist()),
         tuple(knowledge),
     )
+
+
+def _slot_segments(groups: list) -> list:
+    """Per-slot AP segments (or ``None``) exactly as the batched kernel's."""
+    segments = []
+    for g in groups:
+        seg = None
+        if (
+            g.m
+            and g.heads_distinct
+            and np.intersect1d(g.src_tails, g.uheads).size == 0
+        ):
+            seg = _ap_segments(g.src_tails, g.uheads)
+        segments.append(seg)
+    return segments
+
+
+def _run_batched_stacked(
+    programs: list[RoundProgram],
+    samples: list[FaultSample],
+    *,
+    telem_counts: dict | None = None,
+) -> list[tuple[tuple[int | None, ...], tuple[tuple[int, ...], ...]]]:
+    """All trials of *all candidates* at once over one stacked tensor.
+
+    Generalises :func:`_run_batched`: columns of the ``(n, cols, W)`` tensor
+    are grouped into candidate-major blocks (candidate ``c``'s trials
+    occupy one contiguous column slice), and every round applies each
+    candidate's own precompiled slot — its head groups, AP segments and
+    fault mask — to its block *view*.  Compaction drops finished columns
+    but preserves column order, so the blocks stay contiguous slices and
+    every in-place round application keeps operating on views.
+
+    Each candidate runs against its own :class:`FaultSample` (horizon and
+    draws included), so the per-candidate results are bit-identical to a
+    standalone :func:`_run_batched` call on that ``(program, sample)``
+    pair: rounds are applied in the same order with the same masks, and
+    completion rounds are pinned by per-trial exact replay clamped to the
+    candidate's own horizon.  Candidates past their horizon freeze — their
+    still-live columns ride along untouched until the whole stack drains.
+
+    Candidates must share the vertex count ``n`` (the tensor's row axis);
+    everything else — periods, horizons, trial counts — may differ.
+    """
+    if len(programs) != len(samples):
+        raise SimulationError(
+            f"stacked Monte-Carlo needs one sample per program, got "
+            f"{len(programs)} programs and {len(samples)} samples"
+        )
+    if not programs:
+        return []
+    k = len(programs)
+    n = programs[0].graph.n
+    for program in programs[1:]:
+        if program.graph.n != n:
+            raise SimulationError(
+                f"stacked Monte-Carlo needs candidates over one vertex count, "
+                f"got n={n} and n={program.graph.n}"
+            )
+    words = max(1, (n + _WORD_MASK) >> _WORD_SHIFT)
+    full_value = (1 << n) - 1
+    full_words = _pack_int(full_value, words)
+    target = n * n
+
+    groups_by_c = [
+        [_compile_head_groups(p.graph, arcs) for arcs in p.rounds] for p in programs
+    ]
+    segments_by_c = [_slot_segments(groups) for groups in groups_by_c]
+    scratch_by_c = [
+        max((g.m + g.uheads.size for g in groups if g.m), default=0)
+        for groups in groups_by_c
+    ]
+
+    def group_at(c: int, r: int):
+        groups = groups_by_c[c]
+        return groups[(r - 1) % len(groups)] if programs[c].cyclic else groups[r - 1]
+
+    def segment_at(c: int, r: int):
+        segments = segments_by_c[c]
+        return segments[(r - 1) % len(segments)] if programs[c].cyclic else segments[r - 1]
+
+    completions = [np.full(s.trials, -1, dtype=np.int64) for s in samples]
+    if n == 1:
+        for completion in completions:
+            completion[:] = 0
+
+    # Candidate-major column layout: candidate c's live trials are one
+    # contiguous block, recovered after any compaction by searchsorted.
+    col_cand = np.repeat(np.arange(k), [s.trials for s in samples])
+    col_trial = np.concatenate([np.arange(s.trials) for s in samples])
+    live_mask = np.concatenate([completion < 0 for completion in completions])
+    col_cand = col_cand[live_mask]
+    col_trial = col_trial[live_mask]
+
+    tensor = np.zeros((n, col_cand.size, words), dtype=np.uint64)
+    rows = np.arange(n)
+    if col_cand.size:
+        tensor[rows, :, (rows >> _WORD_SHIFT)] = _BIT_LUT[rows & _WORD_MASK][:, None]
+
+    def block_bounds() -> list[int]:
+        return [int(b) for b in np.searchsorted(col_cand, np.arange(k + 1))]
+
+    def block_buffers(bounds: list[int]) -> list[np.ndarray | None]:
+        # Per-candidate contiguous scratch (np.take's ``out=`` wants a plain
+        # C-ordered target; the block views are not).
+        return [
+            np.empty((scratch_by_c[c], bounds[c + 1] - bounds[c], words), dtype=np.uint64)
+            if bounds[c + 1] > bounds[c] and scratch_by_c[c]
+            else None
+            for c in range(k)
+        ]
+
+    def replay_trial(c: int, trial: int, saved_column: np.ndarray, start: int, stop: int) -> int:
+        """Exact completion round of one trial over rounds start+1 … stop,
+        clamped to the candidate's own horizon (rounds past it never touched
+        the column)."""
+        matrix = saved_column.copy()
+        sample = samples[c]
+        for r in range(start + 1, min(stop, sample.horizon) + 1):
+            g = group_at(c, r)
+            if g.m == 0:
+                continue
+            fails = ~sample.trial_mask(trial, r)[g.arc_order]
+            _apply_masked_round(matrix, g, fails)
+            if int(np.bitwise_count(matrix).sum()) == target:
+                return r
+        raise SimulationError(  # pragma: no cover - scan/replay disagreement
+            f"replay of candidate {c} trial {trial} did not reach completion "
+            f"by round {min(stop, sample.horizon)}"
+        )
+
+    max_horizon = max((s.horizon for s in samples), default=0)
+    bounds = block_bounds()
+    buffers = block_buffers(bounds)
+    executed = 0
+    batch = 1
+    while executed < max_horizon and col_cand.size:
+        size = min(batch, max_horizon - executed)
+        if telem_counts is not None:
+            telem_counts["batches"] += 1
+        saved = tensor.copy()
+        for offset in range(1, size + 1):
+            r = executed + offset
+            for c in range(k):
+                start, stop = bounds[c], bounds[c + 1]
+                if start == stop or r > samples[c].horizon:
+                    continue
+                g = group_at(c, r)
+                if g.m == 0:
+                    continue
+                rmask = samples[c].round_mask(r)[col_trial[start:stop]][:, g.arc_order]
+                if not rmask.any():
+                    continue
+                view = tensor[:, start:stop]
+                seg = segment_at(c, r)
+                if seg is not None:
+                    fails_arc, fails_col = np.nonzero(~rmask.T)
+                    if fails_arc.size:
+                        kept_rows = view[g.uheads[fails_arc], fails_col]
+                    for tail_part, head_slice in seg:
+                        targets = view[head_slice]
+                        sources = (
+                            view[tail_part]
+                            if isinstance(tail_part, slice)
+                            else view.take(tail_part, axis=0)
+                        )
+                        np.bitwise_or(targets, sources, out=targets)
+                    if fails_arc.size:
+                        view[g.uheads[fails_arc], fails_col] = kept_rows
+                else:
+                    _apply_masked_round(view, g, np.ascontiguousarray(~rmask.T), buffers[c])
+        done = ((tensor & full_words) == full_words).all(axis=(0, 2))
+        if done.any():
+            for position in np.flatnonzero(done):
+                c = int(col_cand[position])
+                completions[c][int(col_trial[position])] = replay_trial(
+                    c, int(col_trial[position]), saved[:, position], executed, executed + size
+                )
+            keep = ~done
+            dropped = int(done.sum())
+            col_cand = col_cand[keep]
+            col_trial = col_trial[keep]
+            tensor = np.ascontiguousarray(tensor[:, keep])
+            bounds = block_bounds()
+            buffers = block_buffers(bounds)
+            if telem_counts is not None:
+                telem_counts["exact_replays"] += dropped
+                telem_counts["compactions"] += 1
+                telemetry.event(
+                    "faults.compaction",
+                    round=executed + size,
+                    dropped=dropped,
+                    live=int(col_cand.size),
+                )
+        executed += size
+        batch = min(batch * 2, _BATCH_CAP)
+
+    complete_row = (full_value,) * n
+    knowledge_by_c: list[list] = [
+        [complete_row if completions[c][t] >= 0 else None for t in range(s.trials)]
+        for c, s in enumerate(samples)
+    ]
+    for position in range(col_cand.size):
+        knowledge_by_c[int(col_cand[position])][int(col_trial[position])] = _unpack_rows(
+            np.ascontiguousarray(tensor[:, position])
+        )
+    return [
+        (
+            tuple(int(x) if x >= 0 else None for x in completions[c].tolist()),
+            tuple(knowledge_by_c[c]),
+        )
+        for c in range(k)
+    ]
+
+
+def monte_carlo_stacked(
+    candidates,
+    model: FaultModel,
+    *,
+    trials: int,
+    seed: int = 0,
+    max_rounds: int | None = None,
+    engine: str | SimulationEngine | None = "auto",
+) -> tuple[FaultTrialResult, ...]:
+    """Fault-evaluate a whole candidate set in one stacked kernel invocation.
+
+    Semantically equivalent to ``tuple(monte_carlo(c, model, trials=trials,
+    seed=seed, max_rounds=max_rounds) for c in candidates)`` — same
+    per-candidate horizons (derived from each candidate's own fault-free
+    run when ``max_rounds`` is ``None``), same seeded fault realisations,
+    bit-identical completion rounds and knowledge — but executed over one
+    ``(n, candidates · trials, W)`` tensor so the batch bookkeeping is paid
+    once for the whole set.  All candidates must share the vertex count.
+
+    ``engine`` only drives the nominal (fault-free) horizon runs; the
+    trials themselves always run in the stacked kernel, and results carry
+    ``engine_name="montecarlo-stacked"``.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return ()
+    if not numpy_available():  # pragma: no cover - numpy is a hard dep today
+        raise SimulationError("the stacked Monte-Carlo path requires NumPy >= 2.0")
+    _rec = telemetry.get_recorder()
+    _telem = _rec.enabled
+    _t0 = time.perf_counter_ns() if _telem else 0
+    programs = [_program_for(candidate, None) for candidate in candidates]
+
+    nominals: list[int | None] = []
+    horizons: list[int] = []
+    fault_samples: list[FaultSample] = []
+    for program in programs:
+        if max_rounds is None:
+            nominal_result = resolve_engine(engine, program).run(
+                program, track_history=False
+            )
+            nominal = nominal_result.completion_round
+            if nominal is None:
+                raise SimulationError(
+                    "a fault-free candidate never completed gossip, so no default "
+                    "round budget exists; pass max_rounds explicitly"
+                )
+            horizon = default_horizon(nominal, len(program.rounds))
+        else:
+            nominal = None
+            horizon = max_rounds
+        if not program.cyclic:
+            horizon = min(horizon, len(program.rounds))
+        nominals.append(nominal)
+        horizons.append(horizon)
+        fault_samples.append(model.sample(program, horizon, trials, seed=seed))
+
+    _counts = {"batches": 0, "exact_replays": 0, "compactions": 0} if _telem else None
+    outcomes = _run_batched_stacked(programs, fault_samples, telem_counts=_counts)
+    results = tuple(
+        FaultTrialResult(
+            graph=programs[i].graph,
+            model_name=model.name,
+            trials=trials,
+            horizon=horizons[i],
+            seed=seed,
+            nominal_rounds=nominals[i],
+            completion_rounds=outcomes[i][0],
+            knowledge=outcomes[i][1],
+            engine_name="montecarlo-stacked",
+        )
+        for i in range(len(programs))
+    )
+
+    if _telem:
+        counts = {
+            "runs": 1,
+            "candidates": len(programs),
+            "trials": trials * len(programs),
+            "completed": sum(r.completed for r in results),
+            "horizon": max(horizons),
+        }
+        if _counts is not None:
+            counts.update(_counts)
+        _rec.counters("faults.montecarlo_stacked", counts)
+        telemetry.record_span(
+            "faults.monte_carlo_stacked",
+            _t0,
+            method="stacked",
+            engine="montecarlo-stacked",
+            n=programs[0].graph.n,
+            candidates=len(programs),
+            trials=trials,
+            horizon=max(horizons),
+            words=max(1, (programs[0].graph.n + _WORD_MASK) >> _WORD_SHIFT),
+        )
+    return results

@@ -80,24 +80,26 @@ dependency is missing.
 
 Checkpoint/resume
 -----------------
-The reference, frontier and hybrid engines additionally implement the
-checkpoint/resume protocol (:mod:`repro.gossip.engines.checkpoint`):
-``run_checkpointed`` captures :class:`EngineState` snapshots after
-requested rounds, ``checkpoint``/``resume`` are the single-state
-conveniences, and :func:`supports_checkpointing` probes a backend.
+All four registered engines implement the checkpoint/resume protocol
+(:mod:`repro.gossip.engines.checkpoint`): ``run_checkpointed`` captures
+:class:`EngineState` snapshots after requested rounds,
+``checkpoint``/``resume`` are the single-state conveniences, and
+:func:`supports_checkpointing` probes a backend (third-party registrations
+may still lack the protocol).
 
 The determinism contract: resuming a state on a program whose executed
 prefix matches the producing run's returns a result **bit-identical to the
 cold run** — final knowledge, completion round, coverage history, item
 completion and arrival matrices all agree exactly, for any program suffix.
 States are stored in the canonical integer encoding, so they are portable
-across backends (checkpoint on frontier, resume on hybrid, and vice
+across backends (checkpoint on vectorized, resume on hybrid, and vice
 versa).  This is what lets incremental schedule search
 (:mod:`repro.search.incremental`) re-simulate only the rounds a move
-changed while provably visiting the same walk as full re-evaluation.
-The vectorized engine does not checkpoint (its tiled kernel keeps no
-mid-run canonical state cheaply); ``supports_checkpointing`` returns
-``False`` for it and search falls back to full runs.
+changed while provably visiting the same walk as full re-evaluation —
+``engine="auto"`` stays on the dense vectorized kernel inside untracked
+incremental searches (pass ``incremental=True`` to
+:func:`select_engine_name` / :func:`resolve_engine`), since resumed
+suffixes are too short for the sparse engines' windows to warm up.
 
 Telemetry
 ---------
@@ -291,6 +293,7 @@ def select_engine_name(
     track_history: bool = False,
     track_item_completion: bool = False,
     track_arrivals: bool = False,
+    incremental: bool = False,
 ) -> str:
     """The coded decision function behind workload-aware ``"auto"``.
 
@@ -304,12 +307,21 @@ def select_engine_name(
     is maintained incrementally by every candidate backend); it is
     accepted so call sites can forward their full tracking signature and
     future refinements need no threading changes.
+
+    ``incremental=True`` declares that the runs will be checkpoint-resumed
+    suffixes (incremental schedule search).  All four backends checkpoint,
+    so correctness never constrains the pick; but a resumed sparse engine
+    treats the resume point like a program start — every slot's first
+    post-resume firing is dense — and resumed evaluations rarely outlive
+    that warm-up period, so on untracked workloads the plain cache
+    crossover does not apply and the dense kernel is picked outright.
     """
     return explain_engine_selection(
         program,
         track_history=track_history,
         track_item_completion=track_item_completion,
         track_arrivals=track_arrivals,
+        incremental=incremental,
     )[0]
 
 
@@ -319,6 +331,7 @@ def explain_engine_selection(
     track_history: bool = False,
     track_item_completion: bool = False,
     track_arrivals: bool = False,
+    incremental: bool = False,
 ) -> tuple[str, str]:
     """:func:`select_engine_name` plus its rationale, as ``(name, why)``.
 
@@ -336,6 +349,17 @@ def explain_engine_selection(
         return (
             VectorizedEngine.name,
             "finite (aperiodic) program: sparse windows never pay off",
+        )
+    if incremental and not (track_item_completion or track_arrivals):
+        # Checkpoint-resumed evaluations execute short suffixes: the sparse
+        # engines' first post-resume firing of every slot is dense (resume
+        # is treated like a program start), and an incremental-search run
+        # seldom outlives that first period, so the windows that justify
+        # them past the cache crossover never engage.
+        return (
+            VectorizedEngine.name,
+            "incremental (checkpoint-resumed) untracked runs: sparse windows "
+            "stay cold across short resumed suffixes",
         )
     if track_item_completion or track_arrivals:
         degree = mean_arc_degree(program.graph)
@@ -385,6 +409,7 @@ def resolve_engine(
     track_history: bool = False,
     track_item_completion: bool = False,
     track_arrivals: bool = False,
+    incremental: bool = False,
 ) -> SimulationEngine:
     """Resolve an ``engine=`` argument to a concrete engine instance.
 
@@ -429,6 +454,7 @@ def resolve_engine(
             track_history=track_history,
             track_item_completion=track_item_completion,
             track_arrivals=track_arrivals,
+            incremental=incremental,
         )
         if telem:
             telemetry.event(

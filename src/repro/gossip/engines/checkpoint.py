@@ -53,9 +53,10 @@ Checkpointable engines implement :class:`CheckpointableEngine`:
 ``resume(state, program, from_round=None, **options) -> SimulationResult``
     Convenience: continue ``state`` to the end of ``program``'s budget.
 
-The reference, frontier and hybrid engines support checkpointing (via
-:class:`CheckpointingMixin`); use :func:`supports_checkpointing` to probe a
-backend, e.g. when iterating the registry.
+All four registered engines — reference, vectorized, frontier and hybrid —
+support checkpointing (via :class:`CheckpointingMixin`); use
+:func:`supports_checkpointing` to probe a backend, e.g. when iterating the
+registry, since third-party registrations may not implement the protocol.
 """
 
 from __future__ import annotations

@@ -50,6 +50,23 @@ per-round cost at a single gather/scatter pair, which is what makes the
 engine an order of magnitude faster than the reference loop on instances
 with thousands of vertices.  Coverage counts use the hardware popcount
 (``np.bitwise_count``).
+
+Checkpoint/resume
+-----------------
+The engine implements the checkpoint/resume protocol
+(:mod:`repro.gossip.engines.checkpoint`).  Snapshots are canonical: capture
+unpermutes the internal row order and unpacks the ``uint64`` matrix back to
+Python-int knowledge rows, so a state captured here resumes on any backend
+(and vice versa — resume re-packs the state's rows under this engine's row
+permutation).  The batched fast path treats requested checkpoint rounds as
+forced batch boundaries, so captures are exact without giving up the
+doubling-batch completion scan; resume restarts the doubling from the
+resume point.  ``run_checkpointed`` accepts the same caller-owned
+``slot_cache`` dict as the sparse engines; because compiled index arrays
+are expressed in the internal row order — a function of the first
+non-empty round's head set — entries are additionally keyed by that anchor
+round's identity, so a search walk that changes the permutation can never
+reuse a stale compilation.
 """
 
 from __future__ import annotations
@@ -62,6 +79,7 @@ except ImportError:  # pragma: no cover - numpy is installed in CI/dev envs
     np = None  # type: ignore[assignment] - "auto" then resolves to the reference engine
 
 from repro import telemetry
+from repro.exceptions import SimulationError
 from repro.gossip.engines.base import (
     ArrivalRounds,
     RoundProgram,
@@ -80,6 +98,14 @@ from repro.gossip.engines._bitops import (
     set_bit_positions as _set_bit_positions,
     unpack_rows as _unpack_rows,
     unpack_words as _unpack_words,
+)
+from repro.gossip.engines.checkpoint import (
+    CheckpointedRun,
+    CheckpointingMixin,
+    EngineState,
+    check_resume_state,
+    encode_arrivals,
+    normalize_checkpoint_rounds,
 )
 from repro.gossip.engines.layout import (
     row_locality_permutation as _row_permutation,
@@ -216,6 +242,38 @@ def _apply_round(
         np.bitwise_or.at(knowledge, heads, knowledge.take(tails, axis=0))
 
 
+#: Compiled-round caches are cleared past this size so a long search walk
+#: cannot grow one without bound (distinct rounds accumulate with every
+#: insert/mutate move).
+_SLOT_CACHE_LIMIT = 4096
+
+
+def _compiled_rounds(graph, rounds, old_to_new, slot_cache):
+    """Per-round compiled index arrays, memoized in ``slot_cache`` when given.
+
+    Identity-keyed on the interned round tuples, like the sparse engines'
+    caches — but the compiled arrays live in the internal (permuted) row
+    order, and the permutation is a function of the first non-empty round's
+    head set.  Entries therefore also key on that anchor round's identity
+    (references to both objects are held in the value, so the ids stay
+    valid), which makes reuse across a search walk safe: a move that changes
+    the first non-empty round changes the key and forces recompilation.
+    """
+    if slot_cache is None:
+        return [_compile_round(graph, arcs, old_to_new) for arcs in rounds]
+    anchor = next((arcs for arcs in rounds if arcs), None)
+    compiled = []
+    for arcs in rounds:
+        key = (id(arcs), id(anchor))
+        entry = slot_cache.get(key)
+        if entry is None:
+            if len(slot_cache) >= _SLOT_CACHE_LIMIT:
+                slot_cache.clear()
+            entry = slot_cache[key] = (arcs, anchor, _compile_round(graph, arcs, old_to_new))
+        compiled.append(entry[2])
+    return compiled
+
+
 def _is_complete(knowledge: np.ndarray, mask: np.ndarray, tile_rows: int | None = None) -> bool:
     """Does every row contain every bit of ``mask``?
 
@@ -233,13 +291,14 @@ def _is_complete(knowledge: np.ndarray, mask: np.ndarray, tile_rows: int | None 
     return True
 
 
-class VectorizedEngine:
+class VectorizedEngine(CheckpointingMixin):
     """Bulk gather/scatter over a packed ``(n, ceil(n/64)) uint64`` matrix.
 
     ``tile_bytes`` is the L2 budget the irregular-round gather path and the
     completion scan are blocked to (``None`` disables tiling entirely and
     reproduces the untiled kernel, which the perf regression guard compares
-    against).
+    against).  Supports the checkpoint/resume protocol (see the module
+    docstring for how captures interact with the batched fast path).
     """
 
     name = "vectorized"
@@ -263,6 +322,28 @@ class VectorizedEngine:
         track_item_completion: bool = False,
         track_arrivals: bool = False,
     ) -> SimulationResult:
+        return self.run_checkpointed(
+            program,
+            initial=initial,
+            target_mask=target_mask,
+            track_history=track_history,
+            track_item_completion=track_item_completion,
+            track_arrivals=track_arrivals,
+        ).result
+
+    def run_checkpointed(
+        self,
+        program: RoundProgram,
+        *,
+        checkpoint_rounds=(),
+        resume_from: EngineState | None = None,
+        slot_cache: dict | None = None,
+        initial: list[int] | None = None,
+        target_mask: int | None = None,
+        track_history: bool = True,
+        track_item_completion: bool = False,
+        track_arrivals: bool = False,
+    ) -> CheckpointedRun:
         _rec = telemetry.get_recorder()
         _telem = _rec.enabled
         _t0 = time.perf_counter_ns() if _telem else 0
@@ -270,7 +351,26 @@ class VectorizedEngine:
 
         graph = program.graph
         n = graph.n
-        start = list(initial) if initial is not None else initial_knowledge(n)
+        state = resume_from
+        if state is not None:
+            if initial is not None:
+                raise SimulationError(
+                    "resume_from and initial are mutually exclusive "
+                    "(the state carries the knowledge vector)"
+                )
+            check_resume_state(
+                state,
+                program,
+                target_mask=target_mask,
+                track_history=track_history,
+                track_item_completion=track_item_completion,
+                track_arrivals=track_arrivals,
+            )
+            start = list(state.knowledge)
+            base = state.round
+        else:
+            start = list(initial) if initial is not None else initial_knowledge(n)
+            base = 0
         check_initial(start, n)
         full = full_mask(n) if target_mask is None else target_mask
 
@@ -286,17 +386,32 @@ class VectorizedEngine:
             knowledge[old_to_new[i]] = _pack_int(value, words)
         mask = _pack_int(full, words)
 
-        compiled = [_compile_round(graph, arcs, old_to_new) for arcs in program.rounds]
+        compiled = _compiled_rounds(graph, program.rounds, old_to_new, slot_cache)
 
         def compiled_at(round_number: int):
             if program.cyclic:
                 return compiled[(round_number - 1) % len(compiled)]
             return compiled[round_number - 1]
 
+        tile_rows = self._tile_rows(words)
+
         history: list[int] = []
+        if track_history:
+            if state is not None:
+                history = list(state.coverage_history)
+            else:
+                history.append(_popcount_total(knowledge))
+
         item_rounds: list[int | None] | None = None
         if track_item_completion:
-            item_rounds = [None] * n
+            if state is not None:
+                item_rounds = list(state.item_completion)
+            else:
+                item_rounds = [None] * n
+                known = np.bitwise_and.reduce(knowledge, axis=0)
+                for j in iter_set_bits(_unpack_words(known)):
+                    if j < n:
+                        item_rounds[j] = 0
 
         arrivals: np.ndarray | None = None
         receivers: list[np.ndarray | None] | None = None
@@ -304,9 +419,18 @@ class VectorizedEngine:
             # First-arrival matrix in the engine's internal row order; item
             # columns keep public indexing (only the n vertex items count).
             arrivals = np.full((n, n), -1, dtype=np.int64)
-            rows, cols = _set_bit_positions(knowledge)
-            vertex_items = cols < n
-            arrivals[rows[vertex_items], cols[vertex_items]] = 0
+            if state is not None:
+                # The snapshot's rows use public vertex order; load each into
+                # its internal row so in-run updates index consistently.
+                for v, row in enumerate(state.arrivals):
+                    target_row = arrivals[old_to_new[v]]
+                    for j, r in enumerate(row):
+                        if r is not None:
+                            target_row[j] = r
+            else:
+                rows, cols = _set_bit_positions(knowledge)
+                vertex_items = cols < n
+                arrivals[rows[vertex_items], cols[vertex_items]] = 0
             # Each round can only change its receiver rows; resolve them once
             # per distinct compiled round, not once per executed round.
             receivers = [
@@ -318,28 +442,70 @@ class VectorizedEngine:
                 return receivers[(round_number - 1) % len(receivers)]
             return receivers[round_number - 1]
 
-        tile_rows = self._tile_rows(words)
-        if track_history or item_rounds is not None or arrivals is not None or not compiled:
+        if state is not None:
+            completion: int | None = state.completion_round
+        else:
+            completion = base if _is_complete(knowledge, mask, tile_rows) else None
+
+        wanted = normalize_checkpoint_rounds(checkpoint_rounds, base)
+        captured: list[EngineState] = []
+
+        def capture(matrix: np.ndarray, round_number: int, completed: int | None) -> None:
+            # Canonical snapshot: unpermute the rows, unpack to Python ints.
+            captured.append(
+                EngineState(
+                    round=round_number,
+                    knowledge=_unpack_rows(matrix[old_to_new]),
+                    completion_round=completed,
+                    target_mask=full,
+                    track_history=track_history,
+                    track_item_completion=track_item_completion,
+                    track_arrivals=track_arrivals,
+                    coverage_history=(
+                        tuple(history[: round_number + 1]) if track_history else None
+                    ),
+                    item_completion=None if item_rounds is None else tuple(item_rounds),
+                    arrivals=None
+                    if arrivals is None
+                    else encode_arrivals(arrivals[old_to_new].tolist()),
+                    engine_name=self.name,
+                )
+            )
+
+        ci = 0
+        if ci < len(wanted) and wanted[ci] == base:
+            capture(knowledge, base, completion)
+            ci += 1
+
+        if completion is not None:
+            executed = base
+        elif (
+            track_history or item_rounds is not None or arrivals is not None or not compiled
+        ):
             knowledge, executed, completion = self._run_tracked(
                 program, compiled_at, receivers_at, knowledge, mask, history,
                 item_rounds, arrivals,
-                track_history=track_history, tile_rows=tile_rows,
+                base=base, track_history=track_history, tile_rows=tile_rows,
+                wanted=wanted, ci=ci, capture=capture,
             )
         else:
             knowledge, executed, completion = self._run_fast(
-                program, compiled_at, knowledge, mask, tile_rows=tile_rows,
-                telem_counts=_counts,
+                program, compiled_at, knowledge, mask,
+                base=base, tile_rows=tile_rows, telem_counts=_counts,
+                wanted=wanted, ci=ci, capture=capture,
             )
 
         run_stats = None
         if _telem:
-            counts = {"runs": 1, "rounds_simulated": executed}
+            counts = {"runs": 1, "rounds_simulated": executed - base}
             counts.update(_counts)
             _rec.counters("engine.vectorized", counts)
-            telemetry.record_span("engine.run", _t0, engine=self.name, n=n)
+            telemetry.record_span(
+                "engine.run", _t0, engine=self.name, n=n, resumed_round=base
+            )
             run_stats = telemetry.RunStats.single("engine.vectorized", counts)
 
-        return SimulationResult(
+        result = SimulationResult(
             graph=graph,
             rounds_executed=executed,
             completion_round=completion,
@@ -350,6 +516,7 @@ class VectorizedEngine:
             engine_name=self.name,
             run_stats=run_stats,
         )
+        return CheckpointedRun(result, tuple(captured))
 
     # ------------------------------------------------------------------ #
     def _run_tracked(
@@ -363,58 +530,62 @@ class VectorizedEngine:
         item_rounds: list[int | None] | None,
         arrivals: np.ndarray | None,
         *,
+        base: int,
         track_history: bool,
         tile_rows: int | None,
+        wanted: list[int],
+        ci: int,
+        capture,
     ) -> tuple[np.ndarray, int, int | None]:
         """Round-by-round loop recording coverage, item completion, arrivals."""
         n = program.graph.n
-        if track_history:
-            history.append(_popcount_total(knowledge))
-
         known_by_all = np.zeros(knowledge.shape[1], dtype=np.uint64)
         if item_rounds is not None:
+            # Recomputed from the (possibly resumed) snapshot: the already-
+            # complete items carry their rounds in ``item_rounds``, so fresh
+            # detection below can never double-stamp them.
             known_by_all = np.bitwise_and.reduce(knowledge, axis=0)
-            for j in iter_set_bits(_unpack_words(known_by_all)):
-                if j < n:
-                    item_rounds[j] = 0
 
-        completion: int | None = 0 if _is_complete(knowledge, mask, tile_rows) else None
-        executed = 0
-        if completion is None:
-            has_rounds = bool(program.rounds)
-            for round_number in range(1, program.max_rounds + 1):
-                if has_rounds:
-                    compiled = compiled_at(round_number)
-                    receivers = receivers_at(round_number) if arrivals is not None else None
-                    if receivers is not None:
-                        # Only this round's receiver rows can change: snapshot
-                        # them, apply, and record the freshly set bits (word
-                        # scan + expansion of the nonzero words only).
-                        before = knowledge[receivers]
-                        _apply_round(knowledge, compiled, tile_rows)
-                        fresh = knowledge[receivers] & ~before
-                        rows, cols = _set_bit_positions(fresh)
-                        if rows.size:
-                            vertex_items = cols < n
-                            arrivals[
-                                receivers[rows[vertex_items]], cols[vertex_items]
-                            ] = round_number
-                    else:
-                        _apply_round(knowledge, compiled, tile_rows)
-                executed = round_number
-                if track_history:
-                    history.append(_popcount_total(knowledge))
-                if item_rounds is not None:
-                    now_known = np.bitwise_and.reduce(knowledge, axis=0)
-                    fresh = now_known & ~known_by_all
-                    if fresh.any():
-                        for j in iter_set_bits(_unpack_words(fresh)):
-                            if j < n:
-                                item_rounds[j] = round_number
-                    known_by_all = now_known
-                if _is_complete(knowledge, mask, tile_rows):
-                    completion = round_number
-                    break
+        completion: int | None = None
+        executed = base
+        has_rounds = bool(program.rounds)
+        for round_number in range(base + 1, program.max_rounds + 1):
+            if has_rounds:
+                compiled = compiled_at(round_number)
+                receivers = receivers_at(round_number) if arrivals is not None else None
+                if receivers is not None:
+                    # Only this round's receiver rows can change: snapshot
+                    # them, apply, and record the freshly set bits (word
+                    # scan + expansion of the nonzero words only).
+                    before = knowledge[receivers]
+                    _apply_round(knowledge, compiled, tile_rows)
+                    fresh = knowledge[receivers] & ~before
+                    rows, cols = _set_bit_positions(fresh)
+                    if rows.size:
+                        vertex_items = cols < n
+                        arrivals[
+                            receivers[rows[vertex_items]], cols[vertex_items]
+                        ] = round_number
+                else:
+                    _apply_round(knowledge, compiled, tile_rows)
+            executed = round_number
+            if track_history:
+                history.append(_popcount_total(knowledge))
+            if item_rounds is not None:
+                now_known = np.bitwise_and.reduce(knowledge, axis=0)
+                fresh = now_known & ~known_by_all
+                if fresh.any():
+                    for j in iter_set_bits(_unpack_words(fresh)):
+                        if j < n:
+                            item_rounds[j] = round_number
+                known_by_all = now_known
+            if _is_complete(knowledge, mask, tile_rows):
+                completion = round_number
+            if ci < len(wanted) and wanted[ci] == round_number:
+                capture(knowledge, round_number, completion)
+                ci += 1
+            if completion is not None:
+                break
         return knowledge, executed, completion
 
     def _run_fast(
@@ -424,8 +595,12 @@ class VectorizedEngine:
         knowledge: np.ndarray,
         mask: np.ndarray,
         *,
+        base: int,
         tile_rows: int | None,
         telem_counts: dict | None = None,
+        wanted: list[int] = (),
+        ci: int = 0,
+        capture=None,
     ) -> tuple[np.ndarray, int, int | None]:
         """Batched loop: completion checked per batch, replayed for exactness.
 
@@ -434,15 +609,20 @@ class VectorizedEngine:
         engine restores the saved pre-batch state and replays that batch
         round by round to find the exact completion round, so results are
         indistinguishable from the reference engine's.
-        """
-        if _is_complete(knowledge, mask, tile_rows):
-            return knowledge, 0, 0
 
+        Requested checkpoint rounds are forced batch boundaries: a batch is
+        clipped so it never crosses the next wanted round, and the capture
+        happens on the exact post-batch state — the doubling sequence is
+        otherwise unchanged, so runs without checkpoints execute the exact
+        same batches as before.
+        """
         max_rounds = program.max_rounds
-        executed = 0
+        executed = base
         batch = 1
         while executed < max_rounds:
             size = min(batch, max_rounds - executed)
+            if ci < len(wanted):
+                size = min(size, wanted[ci] - executed)
             saved = knowledge.copy()
             if telem_counts is not None:
                 telem_counts["batches"] += 1
@@ -457,7 +637,13 @@ class VectorizedEngine:
                         telem_counts["replayed_rounds"] += 1
                     if _is_complete(knowledge, mask, tile_rows):
                         executed += offset
+                        if ci < len(wanted) and wanted[ci] == executed:
+                            capture(knowledge, executed, executed)
+                            ci += 1
                         return knowledge, executed, executed
             executed += size
+            if ci < len(wanted) and wanted[ci] == executed:
+                capture(knowledge, executed, None)
+                ci += 1
             batch = min(batch * 2, _BATCH_CAP)
         return knowledge, executed, None

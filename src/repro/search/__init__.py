@@ -28,6 +28,10 @@ Layout
   from round 0, bit-identically by the engines' resume contract;
 * :mod:`~repro.search.local_search` — seeded hill climbing, simulated
   annealing with restarts, and the :func:`synthesize_schedule` driver;
+* :mod:`~repro.search.islands` — the multi-process island layer behind
+  ``synthesize_schedule(workers=N)``: driver populations with periodic
+  best-candidate migration over a process pool, bit-identical for a fixed
+  seed regardless of the worker count;
 * :mod:`~repro.search.gap` — the certified ``(found, lower_bound, gap)``
   report (Theorem 4.1 certificates + diameter fallback, with the general
   and separator-refined asymptotic coefficients for context).
@@ -67,6 +71,7 @@ from __future__ import annotations
 from repro.search.constructors import edge_coloring_seed, greedy_frontier_schedule
 from repro.search.gap import GapReport, certified_gap
 from repro.search.incremental import CheckpointCache
+from repro.search.islands import run_island_search
 from repro.search.local_search import (
     SearchResult,
     hill_climb,
@@ -99,6 +104,7 @@ __all__ = [
     "evaluate_schedule",
     "greedy_frontier_schedule",
     "hill_climb",
+    "run_island_search",
     "simulated_annealing",
     "synthesize_schedule",
 ]

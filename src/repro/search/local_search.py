@@ -122,7 +122,9 @@ class _Evaluator:
         # representative workload shape; an explicit engine or an instance
         # resolves the same either way.
         self.engine: SimulationEngine = (
-            resolve_objective_engine(engine, graph, seed_rounds, objective=objective)
+            resolve_objective_engine(
+                engine, graph, seed_rounds, objective=objective, incremental=incremental
+            )
             if seed_rounds is not None
             else resolve_engine(engine)
         )
@@ -154,6 +156,26 @@ class _Evaluator:
             objective=self.objective,
             robustness=self.robustness,
         )
+
+
+def _portfolio_seeds(
+    graph: Digraph, mode: Mode, rng: random.Random, random_seeds: int
+) -> list[SystolicSchedule]:
+    """The constructive seed portfolio every synthesis starts from.
+
+    Edge colouring, the greedy frontier constructor, and ``random_seeds``
+    random schedules drawn through the shared ``rng`` (the differential
+    fuzzer's generator doubling as the restart source).  Shared with the
+    island search so ``workers=`` never changes which seeds exist.
+    """
+    seeds: list[SystolicSchedule] = [
+        edge_coloring_seed(graph, mode),
+        greedy_frontier_schedule(graph, mode),
+    ]
+    baseline_period = seeds[0].period
+    for _ in range(random_seeds):
+        seeds.append(random_systolic_schedule(graph, baseline_period, mode, rng=rng))
+    return seeds
 
 
 def _finalize(
@@ -393,6 +415,7 @@ def synthesize_schedule(
     engine: str | SimulationEngine | None = "auto",
     robustness: RobustnessSpec | None = None,
     incremental: bool = False,
+    workers: int | None = None,
 ) -> SearchResult:
     """Synthesize an s-systolic gossip schedule for ``graph`` under ``mode``.
 
@@ -406,6 +429,14 @@ def synthesize_schedule(
     reheats for ``strategy="anneal"`` and additional best-state re-walks
     for ``strategy="hill"``.
 
+    ``workers`` switches to the multi-process island search
+    (:func:`~repro.search.islands.run_island_search`): the same seed
+    portfolio feeds a fixed number of driver populations with periodic
+    best-candidate migration, fanned out over that many worker processes.
+    The island result is a pure function of the configuration — any
+    ``workers`` count (including ``1``, which runs in-process) returns the
+    same winner bit for bit; the count only sets the throughput.
+
     Deterministic for a fixed ``(strategy, objective, seed, …)``
     configuration; see :mod:`repro.search` for strategy-selection guidance.
     ``incremental`` threads checkpoint-reusing evaluation (see
@@ -416,23 +447,38 @@ def synthesize_schedule(
         raise SimulationError(
             f"unknown search strategy {strategy!r}; expected one of {STRATEGIES}"
         )
+    if workers is not None:
+        if neighborhood is not None:
+            raise SimulationError(
+                "island search rebuilds the default neighborhood in each "
+                "worker; a custom neighborhood= cannot be combined with workers="
+            )
+        from repro.search.islands import run_island_search
+
+        return run_island_search(
+            graph,
+            mode,
+            strategy=strategy,
+            objective=objective,
+            seed=seed,
+            max_iters=max_iters,
+            restarts=restarts,
+            random_seeds=random_seeds,
+            workers=workers,
+            engine=engine,
+            robustness=robustness,
+            incremental=incremental,
+        )
     rng = random.Random(seed)
 
-    seeds: list[SystolicSchedule] = [
-        edge_coloring_seed(graph, mode),
-        greedy_frontier_schedule(graph, mode),
-    ]
-    baseline_period = seeds[0].period
-    for _ in range(random_seeds):
-        seeds.append(
-            random_systolic_schedule(graph, baseline_period, mode, rng=rng)
-        )
+    seeds = _portfolio_seeds(graph, mode, rng, random_seeds)
 
     # One workload-aware resolution for the whole synthesis: the resolved
     # instance is threaded through seed scoring and every driver pass, so
     # every candidate runs on the same backend.
     resolved = resolve_objective_engine(
-        engine, graph, tuple(seeds[0].base_rounds), objective=objective
+        engine, graph, tuple(seeds[0].base_rounds), objective=objective,
+        incremental=incremental,
     )
     evaluator = _Evaluator(
         graph, resolved, objective, robustness, incremental=incremental

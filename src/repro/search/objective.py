@@ -43,7 +43,11 @@ from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
 from repro.faults.models import FaultModel
-from repro.faults.montecarlo import _run_batched, default_horizon
+from repro.faults.montecarlo import (
+    _run_batched,
+    _run_batched_stacked,
+    default_horizon,
+)
 from repro.gossip.engines import SimulationEngine, resolve_engine, supports_checkpointing
 from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Round, SystolicSchedule
@@ -191,12 +195,16 @@ def resolve_objective_engine(
     *,
     objective: str = "gossip_rounds",
     max_rounds: int | None = None,
+    incremental: bool = False,
 ) -> SimulationEngine:
     """Resolve ``engine`` against the workload shape the objective will run.
 
     Search scores candidates by running them, so ``"auto"`` should see what
     the runs will look like: a cyclic program over ``rounds`` (a seed or
-    representative candidate period) with the objective's tracking flags.
+    representative candidate period) with the objective's tracking flags —
+    and, via ``incremental``, whether evaluations will be checkpoint-resumed
+    suffixes rather than cold full runs (which shifts the crossover toward
+    the dense kernel; see :func:`~repro.gossip.engines.select_engine_name`).
     One resolution serves a whole walk or batch — every candidate then runs
     on the same backend, keeping scores comparable.
     """
@@ -206,6 +214,7 @@ def resolve_objective_engine(
         engine,
         program,
         track_item_completion=options.get("track_item_completion", False),
+        incremental=incremental,
     )
 
 
@@ -230,12 +239,22 @@ def _robust_score(
     if result.completion_round is None:
         return ObjectiveValue(_incomplete_score(result, n), False, None, engine.name)
     nominal = result.completion_round
+    horizon = _robust_horizon(program, spec, nominal)
+    sample = spec.model.sample(program, horizon, spec.trials, seed=spec.seed)
+    completion, knowledge = _run_batched(program, sample)
+    score = _robust_mean_cost(n, horizon, completion, knowledge, spec.trials)
+    return ObjectiveValue(score, True, nominal, engine.name)
+
+
+def _robust_horizon(program: RoundProgram, spec: RobustnessSpec, nominal: int) -> int:
     horizon = default_horizon(nominal, len(program.rounds), spec.horizon_factor)
     if not program.cyclic:
         # A finite program has no rounds beyond its own length to grant.
         horizon = min(horizon, len(program.rounds))
-    sample = spec.model.sample(program, horizon, spec.trials, seed=spec.seed)
-    completion, knowledge = _run_batched(program, sample)
+    return horizon
+
+
+def _robust_mean_cost(n, horizon, completion, knowledge, trials) -> float:
     total = 0.0
     for rounds, bits in zip(completion, knowledge):
         if rounds is not None:
@@ -243,7 +262,47 @@ def _robust_score(
         else:
             missing = n * n - sum(value.bit_count() for value in bits)
             total += horizon + missing
-    return ObjectiveValue(total / spec.trials, True, nominal, engine.name)
+    return total / trials
+
+
+def _robust_scores_stacked(
+    programs: list[RoundProgram],
+    results: list,
+    engine: SimulationEngine,
+    spec: RobustnessSpec,
+) -> list[ObjectiveValue]:
+    """Batched :func:`_robust_score` over one candidate set.
+
+    Incomplete candidates are graded without spending trials, exactly as
+    the per-candidate path; the completing ones run their trials through
+    the candidate-stacked Monte-Carlo kernel in one invocation.  Horizons
+    and fault samples are derived per candidate from the shared spec, so
+    every score is bit-identical to :func:`_robust_score` on that
+    candidate alone.
+    """
+    values: list[ObjectiveValue | None] = [None] * len(programs)
+    stacked: list[tuple[int, RoundProgram, int, int]] = []
+    samples = []
+    for i, (program, result) in enumerate(zip(programs, results)):
+        if result.completion_round is None:
+            values[i] = ObjectiveValue(
+                _incomplete_score(result, program.graph.n), False, None, engine.name
+            )
+            continue
+        nominal = result.completion_round
+        horizon = _robust_horizon(program, spec, nominal)
+        stacked.append((i, program, nominal, horizon))
+        samples.append(spec.model.sample(program, horizon, spec.trials, seed=spec.seed))
+    if stacked:
+        outcomes = _run_batched_stacked([entry[1] for entry in stacked], samples)
+        for (i, program, nominal, horizon), (completion, knowledge) in zip(
+            stacked, outcomes
+        ):
+            score = _robust_mean_cost(
+                program.graph.n, horizon, completion, knowledge, spec.trials
+            )
+            values[i] = ObjectiveValue(score, True, nominal, engine.name)
+    return values
 
 
 def _score_result(
@@ -508,6 +567,13 @@ def evaluate_candidates(
     holds for ``robustness``: one spec means one fixed seeded fault
     distribution for the whole batch.
 
+    Under ``robust_gossip_rounds`` the non-incremental batch runs all
+    completing candidates' fault trials through the candidate-stacked
+    Monte-Carlo kernel (one tensor per graph for the whole batch) instead
+    of one kernel invocation per candidate; scores are bit-identical to
+    the per-candidate path because each candidate keeps its own seeded
+    fault sample.
+
     ``incremental=True`` routes the batch through per-graph
     :class:`_CachedObjective` evaluators: duplicate candidates are scored
     once, and on checkpointable engines candidates sharing period prefixes
@@ -526,6 +592,31 @@ def evaluate_candidates(
         max_rounds=max_rounds,
     )
     if not incremental:
+        _check_objective(objective, robustness)
+        if objective == "robust_gossip_rounds":
+            programs = [
+                program_for_rounds(s.graph, s.base_rounds, max_rounds)
+                for s in candidates
+            ]
+            nominal_results = [
+                resolved.run(p, **_nominal_run_options(objective)) for p in programs
+            ]
+            # The stacked kernel wants one vertex count per invocation;
+            # batches are keyed by graph like the incremental evaluators.
+            by_graph: dict[int, list[int]] = {}
+            for i, s in enumerate(candidates):
+                by_graph.setdefault(id(s.graph), []).append(i)
+            values: list[ObjectiveValue | None] = [None] * len(candidates)
+            for indices in by_graph.values():
+                scored = _robust_scores_stacked(
+                    [programs[i] for i in indices],
+                    [nominal_results[i] for i in indices],
+                    resolved,
+                    robustness,
+                )
+                for i, value in zip(indices, scored):
+                    values[i] = value
+            return values  # type: ignore[return-value]
         return [
             evaluate_program(
                 program_for_rounds(s.graph, s.base_rounds, max_rounds),

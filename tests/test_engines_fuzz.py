@@ -253,3 +253,67 @@ def test_duplex_fuzz_constructor_kwargs(case, engines):
     """Random duplex matchings under drawn engine-constructor kwargs."""
     program, options = case
     check_constructed_engines(program, engines, options, "duplex-kwargs")
+
+
+def check_constructed_resume_roundtrip(
+    program: RoundProgram, engines, options: dict, prefix_fraction: float, context=""
+):
+    """Resume round-trips for drawn-kwargs engine instances.
+
+    The registry round-trip tests cover the default singletons; here the
+    constructed instances (the tiled vectorized kernel included) capture a
+    drawn prefix state, resume it themselves, hand it to the reference
+    oracle, and resume a reference-captured state of the same round — all
+    bit-identical to the cold reference run.
+    """
+    reference = get_engine("reference")
+    cold = reference.run(program, **options)
+    resume_options = {k: v for k, v in options.items() if k != "initial"}
+    every = range(program.max_rounds + 1)
+    for engine in engines:
+        if not supports_checkpointing(engine):
+            continue
+        run = engine.run_checkpointed(program, checkpoint_rounds=every, **options)
+        assert_results_identical(cold, run.result, (context, engine, options))
+        if not run.checkpoints:
+            continue
+        state = run.checkpoints[
+            min(int(prefix_fraction * len(run.checkpoints)), len(run.checkpoints) - 1)
+        ]
+        resumed = engine.resume(state, program, **resume_options)
+        assert_results_identical(cold, resumed, (context, engine, "self", state.round))
+        portable = reference.resume(state, program, **resume_options)
+        assert_results_identical(cold, portable, (context, engine, "->reference", state.round))
+        ref_state = reference.run_checkpointed(
+            program, checkpoint_rounds=(state.round,), **options
+        ).checkpoints[-1]
+        back = engine.resume(ref_state, program, **resume_options)
+        assert_results_identical(cold, back, (context, engine, "reference->", ref_state.round))
+
+
+@FUZZ
+@given(
+    case=duplex_programs(),
+    engines=engine_constructions(),
+    prefix_fraction=st.floats(0.0, 1.0),
+)
+def test_duplex_fuzz_constructed_resume_roundtrip(case, engines, prefix_fraction):
+    """Drawn-kwargs engines (tiled vectorized included) through checkpoint/resume."""
+    program, options = case
+    check_constructed_resume_roundtrip(
+        program, engines, options, prefix_fraction, "duplex-kwargs-resume"
+    )
+
+
+@FUZZ
+@given(
+    case=directed_programs(),
+    engines=engine_constructions(),
+    prefix_fraction=st.floats(0.0, 1.0),
+)
+def test_directed_fuzz_constructed_resume_roundtrip(case, engines, prefix_fraction):
+    """Arbitrary directed programs under drawn-kwargs checkpoint/resume."""
+    program, options = case
+    check_constructed_resume_roundtrip(
+        program, engines, options, prefix_fraction, "directed-kwargs-resume"
+    )

@@ -163,9 +163,9 @@ def check_roundtrip(program: RoundProgram, options: dict, context="") -> None:
 
 
 def test_registry_checkpoint_support():
-    """The three stateful backends checkpoint; the tiled kernel does not."""
-    assert set(CHECKPOINTABLE) == {"reference", "frontier", "hybrid"}
-    assert not supports_checkpointing(get_engine("vectorized"))
+    """Every registered backend — tiled kernel included — checkpoints."""
+    assert set(CHECKPOINTABLE) == {"reference", "vectorized", "frontier", "hybrid"}
+    assert all(supports_checkpointing(get_engine(name)) for name in CHECKPOINTABLE)
 
 
 class TestEveryPrefixRoundtrip:

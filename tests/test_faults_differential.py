@@ -107,3 +107,101 @@ def test_seed_determinism_per_engine(engine):
     assert (
         c.completion_rounds != a.completion_rounds or c.knowledge != a.knowledge
     )
+
+
+# --------------------------------------------------------------------- #
+# Candidate-stacked kernel: stacking schedules never changes any trial.
+# --------------------------------------------------------------------- #
+from repro.faults.montecarlo import monte_carlo_stacked  # noqa: E402
+
+
+def _stacked_candidates():
+    """Candidate sets over one vertex count: same-graph schedules, a
+    different graph with the same n, and both duplex modes."""
+    return [
+        coloring_systolic_schedule(cycle_graph(9), Mode.HALF_DUPLEX),
+        coloring_systolic_schedule(cycle_graph(9), Mode.FULL_DUPLEX),
+        coloring_systolic_schedule(grid_2d(3, 3), Mode.HALF_DUPLEX),
+    ]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_stacked_matches_per_schedule_bit_for_bit(model):
+    """Every stacked candidate equals its standalone monte_carlo call —
+    same horizons, completion rounds and final knowledge, not merely the
+    same statistics."""
+    candidates = _stacked_candidates()
+    stacked = monte_carlo_stacked(candidates, model, trials=6, seed=17)
+    assert len(stacked) == len(candidates)
+    for candidate, got in zip(candidates, stacked):
+        solo = monte_carlo(candidate, model, trials=6, seed=17)
+        assert got.engine_name == "montecarlo-stacked"
+        assert got.horizon == solo.horizon
+        assert got.nominal_rounds == solo.nominal_rounds
+        assert got.completion_rounds == solo.completion_rounds
+        assert got.knowledge == solo.knowledge
+
+
+def test_stacked_trial_prefix_stability_under_candidate_growth():
+    """Growing the candidate set never perturbs the candidates already in
+    it: each candidate's fault sample is seeded from its own program, so
+    trials are a function of (candidate, seed), not of the set."""
+    candidates = _stacked_candidates()
+    model = BernoulliArcFaults(0.35)
+    grown = monte_carlo_stacked(candidates, model, trials=5, seed=3)
+    for size in range(1, len(candidates)):
+        prefix = monte_carlo_stacked(candidates[:size], model, trials=5, seed=3)
+        for small, big in zip(prefix, grown):
+            assert small.completion_rounds == big.completion_rounds
+            assert small.knowledge == big.knowledge
+
+
+def test_stacked_explicit_horizon_and_duplicates():
+    """A shared explicit max_rounds skips the nominal runs, and duplicate
+    candidates produce duplicate (bit-identical) results."""
+    schedule = coloring_systolic_schedule(cycle_graph(8), Mode.HALF_DUPLEX)
+    model = BernoulliArcFaults(0.5)
+    stacked = monte_carlo_stacked([schedule, schedule], model, trials=4, seed=9, max_rounds=24)
+    solo = monte_carlo(schedule, model, trials=4, seed=9, max_rounds=24)
+    for got in stacked:
+        assert got.nominal_rounds is None
+        assert got.horizon == solo.horizon == 24
+        assert got.completion_rounds == solo.completion_rounds
+        assert got.knowledge == solo.knowledge
+
+
+def test_stacked_rejects_mismatched_vertex_counts():
+    from repro.exceptions import SimulationError
+
+    with pytest.raises(SimulationError):
+        monte_carlo_stacked(
+            [
+                coloring_systolic_schedule(cycle_graph(8), Mode.HALF_DUPLEX),
+                coloring_systolic_schedule(cycle_graph(9), Mode.HALF_DUPLEX),
+            ],
+            BernoulliArcFaults(0.2),
+            trials=2,
+        )
+
+
+def test_robust_batch_scoring_routes_through_stacked_kernel():
+    """The non-incremental robust_gossip_rounds batch scores bit-identically
+    to per-candidate evaluation (the batch rides the stacked kernel)."""
+    from repro.search.objective import (
+        RobustnessSpec,
+        evaluate_candidates,
+        evaluate_schedule,
+    )
+
+    spec = RobustnessSpec(BernoulliArcFaults(0.3), trials=6, seed=5)
+    candidates = _stacked_candidates()
+    batch = evaluate_candidates(
+        candidates, objective="robust_gossip_rounds", robustness=spec
+    )
+    for candidate, got in zip(candidates, batch):
+        solo = evaluate_schedule(
+            candidate, objective="robust_gossip_rounds", robustness=spec
+        )
+        assert got.score == solo.score
+        assert got.complete == solo.complete
+        assert got.rounds == solo.rounds
