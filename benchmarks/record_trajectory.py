@@ -1,4 +1,4 @@
-"""Append one dated performance data point to ``BENCH_trajectory.json``.
+"""Record one dated performance data point (JSON trajectory + run ledger).
 
 Usage (from the repository root)::
 
@@ -6,22 +6,33 @@ Usage (from the repository root)::
 
 Runs a compact battery — one plain and one arrival-tracked engine row, one
 incremental hill climb, one two-worker island search, one batched and one
-candidate-stacked Monte-Carlo run — under an in-memory
-:class:`repro.telemetry.StatsRecorder` and appends a row of the form ::
+candidate-stacked Monte-Carlo run — each section under its **own**
+in-memory :class:`repro.telemetry.StatsRecorder`, and records a row of
+the form ::
 
-    {"date": "2026-08-07", "sections": {...}, "telemetry": {...}}
+    {"date": "2026-08-07", "rev": "1324a2b", "sections": {...},
+     "telemetry": {...}}
 
-to ``BENCH_trajectory.json`` at the repository root (``--output`` overrides
-the path).  The sections hold the per-section best wall-clock timings, the
-telemetry block the flattened run counters (work actually performed —
-rounds simulated, window elements routed, checkpoint reuse, Monte-Carlo
-batches), so a timing shift can be told apart from a workload shift when
-comparing rows across commits.
+to ``BENCH_trajectory.json`` at the repository root (``--output``
+overrides the path) **and** to the sqlite run ledger
+(:mod:`repro.telemetry.ledger`; ``--ledger`` overrides the
+``REPRO_LEDGER``/``.repro/ledger.db`` resolution, ``--no-ledger`` skips
+it).  Each section carries its own wall-clock timing, its flushed
+telemetry counters (work actually performed — rounds simulated, window
+elements routed, checkpoint reuse, Monte-Carlo batches) and its
+histogram bucket maps, so ``repro-gossip report`` and the regression
+detector (:mod:`repro.telemetry.regress`) can tell a timing shift apart
+from a workload shift per section.  The top-level ``telemetry`` block
+keeps the across-section counter totals the earlier trajectory format
+carried.
 
-The battery is deliberately much smaller than the full ``bench_*`` scripts:
-the point is a cheap, committable trajectory of the same code paths, not a
-regression gate — the gates live in the ``perf_regression``-marked
-benchmarks.
+Re-running on one day replaces that day's row (and its ledger rows) —
+the trajectory holds at most one observation per date.
+
+The battery is deliberately much smaller than the full ``bench_*``
+scripts: the point is a cheap, committable trajectory of the same code
+paths, not a regression gate — the gates live in the
+``perf_regression``-marked benchmarks.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import argparse
 import datetime
 import json
 import os
+import subprocess
 import sys
 import time
 
@@ -40,6 +52,7 @@ from repro.gossip.engines.base import RoundProgram
 from repro.gossip.model import Mode
 from repro.protocols.generic import coloring_systolic_schedule
 from repro.search import hill_climb, run_island_search
+from repro.telemetry.ledger import Ledger, record_entry
 from repro.topologies.classic import cycle_graph, grid_2d
 
 #: Battery sizes: big enough that the measured loops dominate interpreter
@@ -63,29 +76,39 @@ def _timed(fn):
     return time.perf_counter() - start, result
 
 
-def _engine_sections() -> dict:
-    """Plain + tracked single-shot rows on C(ENGINE_N), per backend."""
+def _git_rev() -> str:
+    """Short git revision of the repo this file lives in (or "unknown")."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10,
+        )
+    except OSError:  # pragma: no cover - git missing entirely
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def _engine_section(options: dict) -> dict:
+    """One single-shot row on C(ENGINE_N), per backend."""
     schedule = coloring_systolic_schedule(cycle_graph(ENGINE_N), Mode.HALF_DUPLEX)
     program = RoundProgram.from_schedule(schedule)
-    sections = {}
-    for label, options in (
-        ("plain_gossip", {}),
-        ("tracked_arrivals", {"track_arrivals": True}),
-    ):
-        seconds = {}
-        for name in ("vectorized", "frontier", "hybrid"):
-            engine = get_engine(name)
-            seconds[name], _ = _timed(
-                lambda e=engine: e.run(program, track_history=False, **options)
-            )
-        best = min(seconds, key=seconds.get)
-        sections[label] = {
-            "instance": f"C({ENGINE_N})",
-            "seconds": seconds,
-            "best_engine": best,
-            "best_seconds": seconds[best],
-        }
-    return sections
+    seconds = {}
+    for name in ("vectorized", "frontier", "hybrid"):
+        engine = get_engine(name)
+        seconds[name], _ = _timed(
+            lambda e=engine: e.run(program, track_history=False, **options)
+        )
+    best = min(seconds, key=seconds.get)
+    return {
+        "instance": f"C({ENGINE_N})",
+        "seconds": seconds,
+        "best_engine": best,
+        "best_seconds": seconds[best],
+    }
 
 
 def _search_section() -> dict:
@@ -179,57 +202,104 @@ def _stacked_faults_section() -> dict:
     }
 
 
-def record_point(output: str) -> dict:
-    """Run the battery, append the dated row to ``output``, return the row."""
+#: The battery, in recorded order: section name -> zero-arg producer.
+SECTIONS = (
+    ("plain_gossip", lambda: _engine_section({})),
+    ("tracked_arrivals", lambda: _engine_section({"track_arrivals": True})),
+    ("incremental_hill_climb", _search_section),
+    ("island_search", _islands_section),
+    ("batched_montecarlo", _faults_section),
+    ("stacked_montecarlo", _stacked_faults_section),
+)
+
+
+def _recorded_section(producer) -> dict:
+    """Run one section under its own recorder; attach counters/histograms."""
     recorder = telemetry.StatsRecorder()
     with telemetry.recording(recorder):
-        sections = _engine_sections()
-        sections["incremental_hill_climb"] = _search_section()
-        sections["island_search"] = _islands_section()
-        sections["batched_montecarlo"] = _faults_section()
-        sections["stacked_montecarlo"] = _stacked_faults_section()
-
-    assert recorder.stats is not None
-    counters = {
+        section = producer()
+    stats = recorder.stats
+    assert stats is not None
+    section["counters"] = {
         f"{component}.{name}": value
-        for component, counts in sorted(recorder.stats.counters.items())
+        for component, counts in sorted(stats.counters.items())
         for name, value in sorted(counts.items())
     }
-    entry = {
-        "date": datetime.date.today().isoformat(),
+    section["histograms"] = {
+        name: {str(index): count for index, count in sorted(hist.buckets.items())}
+        for name, hist in sorted(stats.histograms.items())
+    }
+    return section
+
+
+def build_entry(date: str | None = None, rev: str | None = None) -> dict:
+    """Run the battery and build one trajectory row (no I/O)."""
+    sections = {name: _recorded_section(producer) for name, producer in SECTIONS}
+    totals: dict[str, int] = {}
+    for section in sections.values():
+        for name, value in section["counters"].items():
+            totals[name] = totals.get(name, 0) + value
+    return {
+        "date": date or datetime.date.today().isoformat(),
+        "rev": rev or _git_rev(),
         "sections": sections,
-        "telemetry": counters,
+        "telemetry": totals,
     }
 
+
+def append_entry(entry: dict, output: str) -> None:
+    """Write ``entry`` into the trajectory list, replacing its date's row."""
     trajectory: list = []
     if os.path.exists(output):
         with open(output) as fh:
             trajectory = json.load(fh)
         if not isinstance(trajectory, list):
             raise SystemExit(f"{output} does not hold a JSON list; refusing to append")
+    # At most one observation per date: a same-day re-run replaces the
+    # earlier row instead of appending a duplicate.
+    trajectory = [row for row in trajectory if row.get("date") != entry["date"]]
     trajectory.append(entry)
     with open(output, "w") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def record_point(output: str, ledger_path: str | None = None, *, ledger: bool = True) -> dict:
+    """Run the battery; write the JSON row and the ledger rows; return the row."""
+    entry = build_entry()
+    append_entry(entry, output)
+    if ledger:
+        with Ledger(ledger_path) as db:
+            record_entry(db, entry, entry["rev"])
     return entry
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Append one dated benchmark data point to BENCH_trajectory.json."
+        description="Record one dated benchmark data point (JSON + run ledger)."
     )
     parser.add_argument(
         "--output",
         default=DEFAULT_OUTPUT,
         help="trajectory file to append to (default: BENCH_trajectory.json at the repo root)",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="run-ledger database (default: REPRO_LEDGER or .repro/ledger.db)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the sqlite ledger and only write the JSON trajectory",
+    )
     args = parser.parse_args(argv)
-    entry = record_point(args.output)
+    entry = record_point(args.output, args.ledger, ledger=not args.no_ledger)
     best = {
         name: section.get("best_seconds", section.get("seconds"))
         for name, section in entry["sections"].items()
     }
-    print(f"recorded {entry['date']} -> {os.path.abspath(args.output)}")
+    print(f"recorded {entry['date']} ({entry['rev']}) -> {os.path.abspath(args.output)}")
     for name, seconds in best.items():
         print(f"  {name}: {seconds:.4f}s")
     return 0

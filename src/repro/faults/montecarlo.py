@@ -245,6 +245,11 @@ def monte_carlo(
         if _counts is not None:
             counts.update(_counts)
         _rec.counters("faults.montecarlo", counts)
+        _hist = telemetry.Histogram.of(*(r for r in completion if r is not None))
+        if _hist.count:
+            # Per-trial completion-round distribution (completed trials
+            # only — failures are the `trials - completed` counter gap).
+            _rec.histogram("faults.completion_rounds", _hist)
         telemetry.record_span(
             "faults.monte_carlo",
             _t0,
@@ -782,6 +787,13 @@ def monte_carlo_stacked(
         if _counts is not None:
             counts.update(_counts)
         _rec.counters("faults.montecarlo_stacked", counts)
+        _hist = telemetry.Histogram.of(
+            *(r for result in results for r in result.completion_rounds if r is not None)
+        )
+        if _hist.count:
+            # Same name as the solo path: one distribution to merge across
+            # batched and candidate-stacked runs.
+            _rec.histogram("faults.completion_rounds", _hist)
         telemetry.record_span(
             "faults.monte_carlo_stacked",
             _t0,

@@ -673,10 +673,13 @@ class FrontierEngine(CheckpointingMixin):
                 "early_exit_round": _early_exit,
             }
             _rec.counters("engine.frontier", counts)
+            _hist = telemetry.Histogram.of(counts["rounds_simulated"])
+            _rec.histogram("engine.frontier.rounds", _hist)
             telemetry.record_span(
                 "engine.run", _t0, engine=self.name, n=n, resumed_round=base
             )
             run_stats = telemetry.RunStats.single("engine.frontier", counts)
+            run_stats.add_histogram("engine.frontier.rounds", _hist)
 
         result = SimulationResult(
             graph=graph,

@@ -771,10 +771,13 @@ class HybridEngine(CheckpointingMixin):
                 "early_exit_round": _early_exit,
             }
             _rec.counters("engine.hybrid", counts)
+            _hist = telemetry.Histogram.of(counts["rounds_simulated"])
+            _rec.histogram("engine.hybrid.rounds", _hist)
             telemetry.record_span(
                 "engine.run", _t0, engine=self.name, n=n, resumed_round=base
             )
             run_stats = telemetry.RunStats.single("engine.hybrid", counts)
+            run_stats.add_histogram("engine.hybrid.rounds", _hist)
 
         result = SimulationResult(
             graph=graph,

@@ -216,10 +216,13 @@ class ReferenceEngine(CheckpointingMixin):
                 "slots_fired": _slots_fired,
             }
             _rec.counters("engine.reference", counts)
+            _hist = telemetry.Histogram.of(counts["rounds_simulated"])
+            _rec.histogram("engine.reference.rounds", _hist)
             telemetry.record_span(
                 "engine.run", _t0, engine=self.name, n=n, resumed_round=base
             )
             run_stats = telemetry.RunStats.single("engine.reference", counts)
+            run_stats.add_histogram("engine.reference.rounds", _hist)
 
         result = SimulationResult(
             graph=graph,

@@ -500,10 +500,13 @@ class VectorizedEngine(CheckpointingMixin):
             counts = {"runs": 1, "rounds_simulated": executed - base}
             counts.update(_counts)
             _rec.counters("engine.vectorized", counts)
+            _hist = telemetry.Histogram.of(counts["rounds_simulated"])
+            _rec.histogram("engine.vectorized.rounds", _hist)
             telemetry.record_span(
                 "engine.run", _t0, engine=self.name, n=n, resumed_round=base
             )
             run_stats = telemetry.RunStats.single("engine.vectorized", counts)
+            run_stats.add_histogram("engine.vectorized.rounds", _hist)
 
         result = SimulationResult(
             graph=graph,

@@ -35,6 +35,7 @@ from collections.abc import Iterable, Sequence
 from repro.gossip.engines.checkpoint import EngineState
 from repro.gossip.model import Round
 from repro.search.moves import common_prefix_length
+from repro.telemetry.core import Histogram
 
 __all__ = ["CheckpointCache", "PeriodKey", "default_checkpoint_rounds"]
 
@@ -112,7 +113,10 @@ class CheckpointCache:
     of every state handed out — the rounds the resumed runs did *not* have
     to re-simulate.  The telemetry layer reports all three as the
     ``search.incremental`` counters (hit rate and mean reused depth), and
-    the benchmark surfaces them as the reuse rate.
+    the benchmark surfaces them as the reuse rate.  ``reuse_depth`` keeps
+    the same quantity as a per-lookup distribution (misses contribute
+    depth 0), flushed by the owning evaluator as the
+    ``search.reused_rounds`` histogram.
     """
 
     def __init__(self, *, max_periods: int = _DEFAULT_MAX_PERIODS) -> None:
@@ -127,6 +131,7 @@ class CheckpointCache:
         self.hits = 0
         self.misses = 0
         self.reused_rounds = 0
+        self.reuse_depth = Histogram()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -163,10 +168,12 @@ class CheckpointCache:
                 usable.setdefault(r, state)
         if not usable:
             self.misses += 1
+            self.reuse_depth.add(0)
             return None, usable
         self.hits += 1
         deepest = usable[max(usable)]
         self.reused_rounds += deepest.round
+        self.reuse_depth.add(deepest.round)
         return deepest, usable
 
     def record(

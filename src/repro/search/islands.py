@@ -38,9 +38,23 @@ revalidated on decode.
 
 When a :mod:`repro.telemetry` recorder is active the search flushes one
 ``search.islands`` counter set (``islands``, ``generations``,
-``migrations``, ``island_evaluations``, ``workers``) plus a
-``search.islands`` span; per-island driver telemetry stays in the worker
-processes and is not merged back.
+``migrations``, ``island_evaluations``, ``workers``), a
+``search.islands.best_score`` gauge, and a ``search.islands`` span — and
+it merges the workers' telemetry back in.  Every island generation runs
+under a *worker-side* :class:`~repro.telemetry.StatsRecorder` (in the
+worker process on the pool path, as a nested recorder in-process when
+``workers=1`` — the task is recorded identically either way), and the
+frozen :class:`~repro.telemetry.RunStats` rides home inside the
+:class:`_IslandReport`.  The driver re-parents the worker spans under its
+own ``search.islands`` span (:func:`repro.telemetry.reparented` — fresh
+span ids, so cross-process id collisions cannot alias), replays them
+through the active recorder (:meth:`~repro.telemetry.Recorder.absorb`,
+so streaming sinks see worker records too), and merges counters /
+histograms / gauges into ``SearchResult.run_stats`` — which therefore
+accounts for every island evaluation identically for any ``workers``
+value.  Worker span timestamps are kept verbatim; ``perf_counter_ns``
+origins differ between processes, so durations and in-worker ordering
+are meaningful but cross-process start times are not comparable.
 """
 
 from __future__ import annotations
@@ -132,6 +146,10 @@ class _IslandTask:
     engine_name: str
     robustness: RobustnessSpec | None
     incremental: bool
+    #: Record worker-side telemetry and ship it home.  Set uniformly for
+    #: every task of a search (from the driver's recorder state), never
+    #: per-worker — recording must not depend on where a task runs.
+    record: bool = False
 
 
 @dataclass(frozen=True)
@@ -144,6 +162,8 @@ class _IslandReport:
     seed_name: str
     evaluations: int
     iterations: int
+    #: The generation's frozen worker-side telemetry (``task.record`` only).
+    run_stats: "telemetry.RunStats | None" = None
 
 
 def _run_island_task(task: _IslandTask) -> _IslandReport:
@@ -158,10 +178,25 @@ def _run_island_task(task: _IslandTask) -> _IslandReport:
         incremental=task.incremental,
         initial_value=task.initial_value,
     )
-    if task.strategy == "anneal":
-        result = simulated_annealing(schedule, restarts=task.restarts, **kwargs)
+
+    def _drive():
+        if task.strategy == "anneal":
+            return simulated_annealing(schedule, restarts=task.restarts, **kwargs)
+        return hill_climb(schedule, **kwargs)
+
+    run_stats = None
+    if task.record:
+        # The worker-side recorder captures everything the generation's
+        # driver and engines self-report (counters, histograms, spans,
+        # events); the frozen roll-up travels back in the report.  The
+        # in-process path installs it as a nested recorder, so workers=1
+        # accounts identically to any pool fan-out.
+        worker_rec = telemetry.StatsRecorder()
+        with telemetry.recording(worker_rec):
+            result = _drive()
+        run_stats = worker_rec.stats
     else:
-        result = hill_climb(schedule, **kwargs)
+        result = _drive()
     return _IslandReport(
         island=task.island,
         candidate=encode_candidate(result.schedule),
@@ -169,6 +204,7 @@ def _run_island_task(task: _IslandTask) -> _IslandReport:
         seed_name=task.seed_name,
         evaluations=result.evaluations,
         iterations=result.iterations,
+        run_stats=run_stats,
     )
 
 
@@ -221,6 +257,11 @@ def run_island_search(
     if np is None:  # pragma: no cover - numpy is a hard dep today
         raise SimulationError("island search requires NumPy (SeedSequence streams)")
     _t0 = time.perf_counter_ns() if telemetry.get_recorder().enabled else 0
+    # The search.islands span id is allocated up front so worker spans can
+    # be re-parented under it as reports arrive, before the span itself is
+    # recorded at flush time.
+    _islands_span_id = telemetry.next_span_id() if _t0 else None
+    _worker_stats = telemetry.RunStats() if _t0 else None
 
     rng = random.Random(seed)
     seeds = _portfolio_seeds(graph, mode, rng, random_seeds)
@@ -274,6 +315,7 @@ def run_island_search(
                     engine_name=resolved.name,
                     robustness=robustness,
                     incremental=incremental,
+                    record=bool(_t0),
                 )
                 for i in range(islands)
             ]
@@ -287,6 +329,16 @@ def run_island_search(
             for report in sorted(reports, key=lambda r: r.island):
                 island_evaluations += report.evaluations
                 total_iterations += report.iterations
+                if report.run_stats is not None and _worker_stats is not None:
+                    # Fresh driver-side span ids + attachment under the
+                    # pre-allocated search.islands span; then replay through
+                    # the active recorder so streaming sinks emit the worker
+                    # records, and accumulate for the result's roll-up.
+                    shipped = telemetry.reparented(
+                        report.run_stats, _islands_span_id
+                    )
+                    telemetry.get_recorder().absorb(shipped)
+                    _worker_stats.merge(shipped)
                 current[report.island] = (
                     report.candidate,
                     report.objective,
@@ -323,10 +375,17 @@ def run_island_search(
             "workers": workers,
         }
         rec.counters("search.islands", counts)
+        rec.gauge("search.islands.best_score", best_value.score)
         run_stats = telemetry.RunStats.single("search.islands", counts)
+        run_stats.set_gauge("search.islands.best_score", best_value.score)
+        if _worker_stats is not None:
+            # Every island generation's counters, histograms and
+            # (re-parented) spans — workers=N accounts exactly as workers=1.
+            run_stats.merge(_worker_stats)
         telemetry.record_span(
             "search.islands", _t0,
             graph=graph.name, engine=resolved.name, workers=workers,
+            span_id=_islands_span_id,
         )
     return SearchResult(
         schedule=winner,

@@ -137,6 +137,10 @@ class _Evaluator:
             else None
         )
         self._plain_evaluations = 0
+        # Same snapshot discipline as _CachedObjective: per-evaluation
+        # timing is only paid when a recorder was installed at construction.
+        self._telem = telemetry.get_recorder().enabled
+        self._plain_eval_ns = telemetry.Histogram()
 
     @property
     def evaluations(self) -> int:
@@ -150,12 +154,22 @@ class _Evaluator:
         if self._cached is not None:
             return self._cached(rounds, cutoff=cutoff)
         self._plain_evaluations += 1
-        return evaluate_program(
+        _t0 = time.perf_counter_ns() if self._telem else 0
+        value = evaluate_program(
             program_for_rounds(self.graph, rounds),
             self.engine,
             objective=self.objective,
             robustness=self.robustness,
         )
+        if self._telem:
+            self._plain_eval_ns.add(time.perf_counter_ns() - _t0)
+        return value
+
+    def stats_histograms(self) -> dict[str, telemetry.Histogram]:
+        """Per-evaluation distributions, flushed once by the owning search."""
+        if self._cached is not None:
+            return self._cached.stats_histograms()
+        return {"search.eval_ns": self._plain_eval_ns}
 
 
 def _portfolio_seeds(
@@ -223,6 +237,10 @@ def _finalize(
             inc = evaluator._cached.stats_counters()
             rec.counters("search.incremental", inc)
             run_stats.add_counters("search.incremental", inc)
+        for name, hist in evaluator.stats_histograms().items():
+            if hist.count:
+                rec.histogram(name, hist)
+                run_stats.add_histogram(name, hist)
         if start_ns:
             telemetry.record_span(
                 f"search.{driver}", start_ns,
@@ -541,6 +559,10 @@ def synthesize_schedule(
             seed_counts = evaluator._cached.stats_counters()
             rec.counters("search.incremental", seed_counts)
             run_stats.add_counters("search.incremental", seed_counts)
+        for name, hist in evaluator.stats_histograms().items():
+            if hist.count:
+                rec.histogram(name, hist)
+                run_stats.add_histogram(name, hist)
         for _, r in results:
             run_stats.merge(r.run_stats)
     return SearchResult(

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import inspect
 import math
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -56,6 +57,7 @@ from repro.search.incremental import (
     PeriodKey,
     default_checkpoint_rounds,
 )
+from repro.telemetry.core import Histogram, get_recorder
 from repro.topologies.base import Digraph
 
 __all__ = [
@@ -442,6 +444,15 @@ class _CachedObjective:
         # a cutoff at or below the bound can reject without running.
         self._bound: dict[PeriodKey, int] = {}
         self._horizon: int | None = None
+        # Telemetry enablement is snapshotted once per walk: per-evaluation
+        # timing (the ``search.eval_ns`` histogram) is only paid when a
+        # recorder was installed at construction, keeping the disabled path
+        # inside the flush-once overhead contract.
+        self._telem = get_recorder().enabled
+        #: Per-evaluation wall time of the actual engine runs, in ns —
+        #: memo/bound shortcuts contribute nothing, so ``eval_ns.count``
+        #: equals the ``evaluations`` counter on a traced walk.
+        self.eval_ns = Histogram()
         #: Engine runs performed (memo hits cost none).
         self.evaluations = 0
         #: Candidates answered from the exact-value memo without a run.
@@ -503,6 +514,7 @@ class _CachedObjective:
             budget = cutoff
         program = RoundProgram(self.graph, period, cyclic=True, max_rounds=budget)
         self.evaluations += 1
+        _t0 = time.perf_counter_ns() if self._telem else 0
         if self._incremental:
             base, usable = self.cache.lookup(key, max_round=budget)
             kwargs = dict(self._options)
@@ -523,6 +535,8 @@ class _CachedObjective:
                 self._horizon = result.completion_round
         else:
             result = self.engine.run(program, **self._options)
+        if self._telem:
+            self.eval_ns.add(time.perf_counter_ns() - _t0)
         if truncated and result.completion_round is None:
             previous = self._bound.get(key)
             self._bound[key] = cutoff if previous is None else max(previous, cutoff)
@@ -546,6 +560,15 @@ class _CachedObjective:
             "checkpoint_hits": self.cache.hits,
             "checkpoint_misses": self.cache.misses,
             "reused_rounds": self.cache.reused_rounds,
+        }
+
+    def stats_histograms(self) -> dict[str, Histogram]:
+        """Distribution snapshot matching :meth:`stats_counters`: the
+        per-evaluation wall-time and checkpoint reuse-depth histograms the
+        owning search flushes once at walk end."""
+        return {
+            "search.eval_ns": self.eval_ns,
+            "search.reused_rounds": self.cache.reuse_depth,
         }
 
 

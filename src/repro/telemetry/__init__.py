@@ -1,12 +1,16 @@
 """``repro.telemetry`` — zero-dependency run telemetry and profiling.
 
 Hierarchical spans (``perf_counter_ns`` timers with parent attribution via
-context variables), monotonic run counters with flush-once semantics, and a
-recorder registry whose default :class:`NullRecorder` keeps disabled
-telemetry near-free.  See :mod:`repro.telemetry.core` for the overhead
-contract, :mod:`repro.telemetry.sinks` for the JSONL stream format, and
+context variables), monotonic run counters with flush-once semantics,
+mergeable log-spaced :class:`Histogram` distributions plus point-in-time
+gauges, and a recorder registry whose default :class:`NullRecorder` keeps
+disabled telemetry near-free.  See :mod:`repro.telemetry.core` for the
+overhead contract and the shared bucket layout, :mod:`repro.telemetry.sinks`
+for the JSONL stream format (schema ``repro-telemetry/2``),
 :mod:`repro.telemetry.trace` for validation / summaries / the Chrome
-trace-event exporter.
+trace-event exporter, :mod:`repro.telemetry.ledger` for the persistent
+sqlite run ledger, and :mod:`repro.telemetry.regress` for the
+trailing-median perf-regression detector.
 
 Quick start::
 
@@ -14,7 +18,7 @@ Quick start::
 
     with telemetry.recording(telemetry.StatsRecorder()) as rec:
         result = simulate(...)            # engines self-report
-    print(rec.stats.format_table())
+    print(rec.stats.format_table())       # counters + histogram quantiles
 
 or stream to a file (what the CLI's ``--trace PATH`` / ``REPRO_TRACE`` do)::
 
@@ -22,7 +26,15 @@ or stream to a file (what the CLI's ``--trace PATH`` / ``REPRO_TRACE`` do)::
         ...
     rec.close()
 
-The environment variable consulted by the CLI when ``--trace`` is absent:
+Multi-process runs (island search) record worker-side and ship frozen
+:class:`RunStats` back to the driver, which re-parents worker spans under
+its own span tree (:func:`reparented`) and replays them through the active
+recorder (:meth:`Recorder.absorb`) — so merged accounting is identical for
+any worker count.
+
+The environment variables consulted by the CLI: ``REPRO_TRACE`` names a
+JSONL trace destination when ``--trace`` is absent; ``REPRO_LEDGER`` names
+the sqlite run-ledger path (default ``.repro/ledger.db``).
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ import os
 from repro.telemetry.core import (
     NULL_RECORDER,
     EventRecord,
+    Histogram,
     NullRecorder,
     Recorder,
     RunStats,
@@ -40,14 +53,20 @@ from repro.telemetry.core import (
     counters,
     current_span_id,
     event,
+    gauge,
     get_recorder,
+    histogram,
+    next_span_id,
     record_span,
     recording,
+    reparented,
     span,
 )
-from repro.telemetry.sinks import SCHEMA_TAG, JsonlRecorder
+from repro.telemetry.ledger import Ledger, LedgerError, ledger_path, record_entry
+from repro.telemetry.sinks import FLUSH_POLICIES, SCHEMA_TAG, JsonlRecorder
 from repro.telemetry.trace import (
     EVENT_TYPES,
+    SUPPORTED_SCHEMAS,
     TraceError,
     chrome_trace,
     iter_trace,
@@ -59,6 +78,9 @@ from repro.telemetry.trace import (
 #: Environment variable naming a JSONL trace path (CLI fallback for --trace).
 TRACE_ENV_VAR = "REPRO_TRACE"
 
+#: Environment variable naming the sqlite run-ledger path.
+LEDGER_ENV_VAR = "REPRO_LEDGER"
+
 
 def trace_path_from_env() -> str | None:
     """The ``REPRO_TRACE`` trace destination, if configured and non-empty."""
@@ -69,12 +91,18 @@ def trace_path_from_env() -> str | None:
 __all__ = [
     "EVENT_TYPES",
     "EventRecord",
+    "FLUSH_POLICIES",
+    "Histogram",
     "JsonlRecorder",
+    "LEDGER_ENV_VAR",
+    "Ledger",
+    "LedgerError",
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
     "RunStats",
     "SCHEMA_TAG",
+    "SUPPORTED_SCHEMAS",
     "SpanRecord",
     "StatsRecorder",
     "TRACE_ENV_VAR",
@@ -83,11 +111,17 @@ __all__ = [
     "counters",
     "current_span_id",
     "event",
+    "gauge",
     "get_recorder",
+    "histogram",
     "iter_trace",
+    "ledger_path",
+    "next_span_id",
+    "record_entry",
     "read_stats",
     "record_span",
     "recording",
+    "reparented",
     "span",
     "trace_path_from_env",
     "validate_event",

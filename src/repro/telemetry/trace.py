@@ -14,11 +14,12 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, Iterator
 
-from repro.telemetry.core import RunStats, SpanRecord, EventRecord
+from repro.telemetry.core import Histogram, RunStats, SpanRecord, EventRecord
 from repro.telemetry.sinks import SCHEMA_TAG
 
 __all__ = [
     "EVENT_TYPES",
+    "SUPPORTED_SCHEMAS",
     "TraceError",
     "chrome_trace",
     "iter_trace",
@@ -32,8 +33,15 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "meta": ("schema",),
     "span": ("name", "id", "parent", "start_ns", "dur_ns", "attrs"),
     "counters": ("component", "counters"),
+    "histogram": ("name", "buckets", "count", "total", "min", "max"),
+    "gauge": ("name", "value", "ts_ns"),
     "event": ("name", "ts_ns", "attrs"),
 }
+
+#: Meta-line schema tags this reader accepts.  ``repro-telemetry/1``
+#: traces (pre-histogram) remain readable; new traces are written as
+#: :data:`~repro.telemetry.sinks.SCHEMA_TAG` (``repro-telemetry/2``).
+SUPPORTED_SCHEMAS = ("repro-telemetry/1", SCHEMA_TAG)
 
 
 class TraceError(ValueError):
@@ -54,7 +62,7 @@ def validate_event(obj: Any, lineno: int | None = None) -> dict[str, Any]:
     missing = [key for key in EVENT_TYPES[kind] if key not in obj]
     if missing:
         raise TraceError(f"{where}{kind} event missing keys {missing}")
-    if kind == "meta" and obj["schema"] != SCHEMA_TAG:
+    if kind == "meta" and obj["schema"] not in SUPPORTED_SCHEMAS:
         raise TraceError(f"{where}unsupported schema {obj['schema']!r}")
     if kind == "span":
         if not isinstance(obj["id"], int) or not (
@@ -69,6 +77,19 @@ def validate_event(obj: Any, lineno: int | None = None) -> dict[str, Any]:
             isinstance(v, int) for v in counts.values()
         ):
             raise TraceError(f"{where}counters must map names to integers")
+    if kind == "histogram":
+        buckets = obj["buckets"]
+        if not isinstance(buckets, dict) or not all(
+            isinstance(k, str) and k.lstrip("-").isdigit() and isinstance(v, int)
+            for k, v in buckets.items()
+        ):
+            raise TraceError(
+                f"{where}histogram buckets must map stringified indices to integers"
+            )
+        if not isinstance(obj["count"], int):
+            raise TraceError(f"{where}histogram count must be an integer")
+    if kind == "gauge" and not isinstance(obj["value"], (int, float)):
+        raise TraceError(f"{where}gauge value must be a number")
     return obj
 
 
@@ -93,6 +114,10 @@ def read_stats(path: str) -> RunStats:
         kind = obj["type"]
         if kind == "counters":
             stats.add_counters(obj["component"], obj["counters"])
+        elif kind == "histogram":
+            stats.add_histogram(obj["name"], Histogram.from_dict(obj))
+        elif kind == "gauge":
+            stats.set_gauge(obj["name"], obj["value"])
         elif kind == "span":
             stats.spans.append(
                 SpanRecord(
@@ -145,7 +170,19 @@ def chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
                     "args": dict(obj["attrs"]),
                 }
             )
-        # counters/meta lines carry no timestamped series; summarized instead.
+        elif kind == "gauge":
+            trace_events.append(
+                {
+                    "name": obj["name"],
+                    "cat": "repro",
+                    "ph": "C",
+                    "ts": obj["ts_ns"] / 1000.0,
+                    "pid": 0,
+                    "args": {obj["name"]: obj["value"]},
+                }
+            )
+        # counters/histogram/meta lines carry no timestamped series;
+        # summarized instead.
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 

@@ -138,6 +138,64 @@ def test_island_telemetry_counters():
     assert "search.islands" in result.run_stats.counters
 
 
+def test_island_telemetry_conservation_across_worker_counts():
+    """workers=4 accounts for exactly the work workers=1 does.
+
+    Worker sub-processes run under their own recorder and ship frozen
+    RunStats back in their reports; the driver merges them.  The merged
+    accounting must be independent of how the islands were distributed:
+    identical counters (except the ``workers`` knob itself), identical
+    buckets for deterministic histograms, and the per-evaluation timing
+    histogram — whose bucket *contents* are wall-clock and therefore
+    nondeterministic — must still hold exactly one sample per island
+    evaluation.
+    """
+
+    def run(workers):
+        recorder = telemetry.StatsRecorder()
+        with telemetry.recording(recorder):
+            result = run_island_search(
+                cycle_graph(12), Mode.HALF_DUPLEX, strategy="hill",
+                seed=3, max_iters=25, workers=workers,
+            )
+        return result, recorder.stats
+
+    solo_result, solo = run(1)
+    pool_result, pool = run(4)
+    assert _fingerprint(pool_result) == _fingerprint(solo_result)
+
+    for component in set(solo.counters) | set(pool.counters):
+        solo_counts = dict(solo.counters[component])
+        pool_counts = dict(pool.counters[component])
+        if component == "search.islands":
+            assert solo_counts.pop("workers") == 1
+            assert pool_counts.pop("workers") == 4
+        assert pool_counts == solo_counts, component
+
+    assert set(pool.histograms) == set(solo.histograms)
+    for name in solo.histograms:
+        if name.endswith("_ns"):
+            # Timing buckets are nondeterministic; sample counts are not.
+            assert pool.histograms[name].count == solo.histograms[name].count
+        else:
+            assert pool.histograms[name].buckets == solo.histograms[name].buckets
+
+    evaluations = solo.counters["search.islands"]["island_evaluations"]
+    assert solo.histograms["search.eval_ns"].count == evaluations
+    assert pool.histograms["search.eval_ns"].count == evaluations
+    assert pool.gauges["search.islands.best_score"] == pool_result.objective.score
+
+    # Worker spans were re-parented under the driver's islands span.
+    islands_span = next(s for s in pool.spans if s.name == "search.islands")
+    children = [s for s in pool.spans if s.parent_id == islands_span.span_id]
+    assert children, "worker spans should attach under search.islands"
+
+    # The merged result-level RunStats carries the same totals.
+    pool_rs = pool_result.run_stats
+    assert pool_rs.counters["search.islands"]["island_evaluations"] == evaluations
+    assert pool_rs.histograms["search.eval_ns"].count == evaluations
+
+
 def test_island_argument_validation():
     graph = cycle_graph(8)
     with pytest.raises(SimulationError):

@@ -199,7 +199,7 @@ def test_jsonl_lines_all_validate():
     _, text = _traced_run()
     lines = [json.loads(line) for line in text.splitlines() if line]
     assert lines[0]["type"] == "meta"
-    assert lines[0]["schema"] == "repro-telemetry/1"
+    assert lines[0]["schema"] == telemetry.SCHEMA_TAG
     kinds = set()
     for lineno, obj in enumerate(lines, start=1):
         validate_event(obj, lineno)
